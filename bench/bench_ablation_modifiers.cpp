@@ -1,0 +1,110 @@
+// Ablation: modifier-collision rates of the three backward-edge modifier
+// constructions over realistic kernel call contexts — the quantitative
+// backing for §4.2's design choice (32-bit SP ‖ 32-bit function address)
+// and §7's critique of PARTS' 16-bit SP window.
+//
+// A "collision" is a pair of distinct (function, SP, thread) contexts whose
+// modifiers coincide: any signed return address from one context replays
+// into the other. We sample contexts from the kernel's actual stack layout
+// (16 KiB stacks, tops congruent modulo 2^16 across threads).
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "attacks/attacks.h"
+#include "bench_util.h"
+#include "compiler/instrument.h"
+#include "core/modifier.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace camo;  // NOLINT
+using compiler::BackwardScheme;
+
+struct Context {
+  uint64_t fn;
+  uint64_t sp;
+  int thread;
+};
+
+uint64_t modifier(BackwardScheme s, const Context& c) {
+  switch (s) {
+    case BackwardScheme::ClangSp:
+      return core::clang_return_modifier(c.sp);
+    case BackwardScheme::Parts:
+      // LTO id stands in via the function address (unique per function).
+      return core::parts_return_modifier(c.sp, c.fn * 0x9E3779B97F4A7C15ull >> 16);
+    case BackwardScheme::Camouflage:
+      return core::camouflage_return_modifier(c.sp, c.fn);
+    case BackwardScheme::None:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation", "modifier replay-collision rates (§4.2, §7)",
+      "SP-only repeats within/between calls; PARTS' 16-bit SP repeats "
+      "across 64 KiB-strided thread stacks; Camouflage binds SP32 + fn32");
+
+  // Sample contexts: 16 threads, stacks 64 KiB apart; 64 kernel functions;
+  // call depths multiple of 16 bytes within a 16 KiB stack.
+  Xoshiro256 rng(2024);
+  std::vector<Context> contexts;
+  const uint64_t stack_base = 0xFFFF000000400000ull;
+  const uint64_t text_base = 0xFFFF000000082000ull;
+  for (int t = 0; t < 16; ++t) {
+    const uint64_t top = stack_base + static_cast<uint64_t>(t) * 0x10000 + 0x4000;
+    for (int i = 0; i < 256; ++i) {
+      Context c;
+      c.thread = t;
+      c.fn = text_base + (rng.next_below(64)) * 0x140;
+      c.sp = top - 16 * (1 + rng.next_below(64));
+      contexts.push_back(c);
+    }
+  }
+
+  std::printf("%zu sampled (function, SP, thread) contexts\n\n",
+              contexts.size());
+  std::printf("%-14s %16s %18s %20s\n", "scheme", "distinct mods",
+              "colliding pairs", "cross-thread pairs");
+  for (const auto s : {BackwardScheme::ClangSp, BackwardScheme::Parts,
+                       BackwardScheme::Camouflage}) {
+    std::unordered_map<uint64_t, std::vector<const Context*>> buckets;
+    for (const auto& c : contexts) buckets[modifier(s, c)].push_back(&c);
+    uint64_t pairs = 0, cross = 0;
+    for (const auto& [mod, v] : buckets) {
+      for (size_t i = 0; i < v.size(); ++i)
+        for (size_t j = i + 1; j < v.size(); ++j) {
+          // only count pairs from *different* contexts
+          if (v[i]->fn == v[j]->fn && v[i]->sp == v[j]->sp) continue;
+          ++pairs;
+          cross += v[i]->thread != v[j]->thread;
+        }
+    }
+    std::printf("%-14s %16zu %18llu %20llu\n",
+                compiler::backward_scheme_name(s), buckets.size(),
+                static_cast<unsigned long long>(pairs),
+                static_cast<unsigned long long>(cross));
+  }
+
+  std::printf(
+      "\ncombined-branch ablation (§4.3): a protected indirect call is "
+      "AUTIB+BLR (%u cycles, 2 instructions) vs the fused BLRAB (%u cycles, "
+      "1 instruction) — equal under the 4-cycle PA-analogue, but the fused "
+      "form halves code size and fetch slots; the compiler-attribute future "
+      "work would let every call site use it.\n",
+      4u + 2u, 6u);
+
+  // Zero-modifier (Apple-style) ablation: every context shares one modifier.
+  std::printf(
+      "\nzero-modifier ablation (§7): all %zu contexts collapse onto a "
+      "single modifier — any signed pointer replays anywhere; the live "
+      "cross-object swap attack confirms it (see bench_security_matrix).\n",
+      contexts.size());
+  return 0;
+}

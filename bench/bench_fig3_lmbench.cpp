@@ -1,0 +1,118 @@
+// Figure 3: lmbench-style kernel micro-benchmark latencies, relative to the
+// unprotected kernel, under full protection and backward-edge-only CFI.
+//
+// The paper: "The performance impact at system call level is measurable as
+// double-digit percentual overhead ... due to a comparatively high rate of
+// function calls to computation" in syscall implementations.
+//
+// Each row runs the same user workload (null syscall, read, write, stat,
+// open/close, context switch) on three kernels that differ only in
+// instrumentation, and reports per-operation simulated cycles plus the
+// relative latency Figure 3 plots.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "kernel/workloads.h"
+
+namespace {
+
+using namespace camo;  // NOLINT
+using kernel::FileKind;
+namespace wl = kernel::workloads;
+
+struct Bench {
+  const char* name;
+  uint64_t ops;  ///< operations per run (for per-op latency)
+  std::vector<obj::Program> (*make)();
+};
+
+constexpr uint64_t kIters = 1500;
+
+std::vector<obj::Program> make_null() {
+  std::vector<obj::Program> v;
+  v.push_back(wl::null_syscall(kIters));
+  return v;
+}
+std::vector<obj::Program> make_read() {
+  std::vector<obj::Program> v;
+  v.push_back(wl::read_file(kIters, 64, FileKind::Null));
+  return v;
+}
+std::vector<obj::Program> make_write() {
+  std::vector<obj::Program> v;
+  v.push_back(wl::write_file(kIters, 64, FileKind::Null));
+  return v;
+}
+std::vector<obj::Program> make_stat() {
+  std::vector<obj::Program> v;
+  v.push_back(wl::stat_file(kIters));
+  return v;
+}
+std::vector<obj::Program> make_openclose() {
+  std::vector<obj::Program> v;
+  v.push_back(wl::open_close(kIters / 2));
+  return v;
+}
+std::vector<obj::Program> make_ctx() {
+  std::vector<obj::Program> v;
+  v.push_back(wl::yield_loop(kIters / 2));
+  v.push_back(wl::yield_loop(kIters / 2));
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 3", "lmbench (relative) latencies",
+      "double-digit % syscall-level overhead for full protection; "
+      "backward-only in between; high call density explains the cost");
+
+  const Bench benches[] = {
+      {"null syscall", kIters, make_null},
+      {"read /dev/null 64B", kIters, make_read},
+      {"write /dev/null 64B", kIters, make_write},
+      {"stat", kIters, make_stat},
+      {"open/close", kIters / 2, make_openclose},
+      {"ctx switch (2 tasks)", kIters, make_ctx},
+  };
+
+  std::printf("%-22s | %-24s | %-24s | %-24s\n", "", "none", "backward-edge",
+              "full");
+  std::printf("%-22s | %10s %12s | %10s %12s | %10s %12s\n", "benchmark",
+              "cyc/op", "relative", "cyc/op", "relative", "cyc/op",
+              "relative");
+  std::printf("%.*s\n", 112,
+              "--------------------------------------------------------------"
+              "--------------------------------------------------");
+
+  double geo_back = 0, geo_full = 0;
+  int n = 0;
+  for (const auto& b : benches) {
+    double base = 0;
+    std::printf("%-22s |", b.name);
+    for (const auto& cfgn : bench::figure_configs()) {
+      const auto r = bench::run_workload(cfgn.prot, b.make());
+      if (r.halt_code != kernel::kHaltDone) {
+        std::printf(" RUN FAILED (halt=0x%llx)",
+                    static_cast<unsigned long long>(r.halt_code));
+        continue;
+      }
+      const double per_op = static_cast<double>(r.workload) / b.ops;
+      if (base == 0) base = per_op;
+      const double rel = per_op / base;
+      std::printf(" %10.1f %11.3fx |", per_op, rel);
+      if (std::string(cfgn.name) == "backward") geo_back += std::log(rel);
+      if (std::string(cfgn.name) == "full") geo_full += std::log(rel);
+    }
+    std::printf("\n");
+    ++n;
+  }
+  std::printf("\ngeometric-mean relative latency: backward-edge %.3fx, full "
+              "%.3fx (paper Figure 3 shows the same ordering with "
+              "double-digit %% overheads)\n",
+              std::exp(geo_back / n), std::exp(geo_full / n));
+  return 0;
+}

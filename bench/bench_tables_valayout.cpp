@@ -1,0 +1,31 @@
+// Tables 1 and 2 (Appendix A): VMSAv8 address ranges and AArch64 pointer
+// layouts on Linux, regenerated from the mem::VaLayout model, plus the PAC
+// widths they imply (§5.4 / Appendix B).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mem/valayout.h"
+
+int main() {
+  using camo::mem::VaLayout;
+  camo::bench::print_header(
+      "Tables 1 & 2", "VMSAv8 address ranges and pointer layout",
+      "bit 55 selects user/kernel half; with 48-bit VAs and TBI for user "
+      "space only, PAC space is 7 bits (user) / 15 bits (kernel)");
+
+  VaLayout def;
+  std::printf("%s\n", def.render_table1().c_str());
+  std::printf("%s\n", def.render_table2().c_str());
+
+  std::printf("PAC width by VA configuration (Appendix B: 'PACs can have up "
+              "to 31 bits'):\n");
+  std::printf("  %8s %10s %12s %12s\n", "va_bits", "tbi(kern)", "kernel PAC",
+              "user PAC");
+  for (const unsigned va_bits : {32u, 39u, 42u, 48u, 52u}) {
+    VaLayout l;
+    l.va_bits = va_bits;
+    std::printf("  %8u %10s %12u %12u\n", va_bits, "off",
+                l.pac_width(uint64_t{1} << 55), l.pac_width(0));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// tables and figures (see DESIGN.md §4 for the experiment index).
+//
+// Timing is reported in *simulated cycles* from the CPU's deterministic
+// PA-analogue cycle model (§6.1), optionally converted to nanoseconds at the
+// Raspberry Pi 3's 1.2 GHz clock the paper measured on. Absolute numbers are
+// not comparable with the paper's testbed; the shape (ordering, ratios,
+// where overhead concentrates) is what each bench validates.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compiler/instrument.h"
+#include "kernel/machine.h"
+
+namespace camo::bench {
+
+inline constexpr double kClockGhz = 1.2;  ///< RPi3 A53 clock used in §6.1
+
+inline double to_ns(double cycles) { return cycles / kClockGhz; }
+
+/// The three configurations of Figures 3 and 4: no protection,
+/// backward-edge CFI only, and full protection (backward + forward + DFI).
+struct NamedConfig {
+  const char* name;
+  compiler::ProtectionConfig prot;
+};
+
+inline std::vector<NamedConfig> figure_configs() {
+  return {
+      {"none", compiler::ProtectionConfig::none()},
+      {"backward", compiler::ProtectionConfig::backward_only()},
+      {"full", compiler::ProtectionConfig::full()},
+  };
+}
+
+/// Result of one measured guest run.
+struct RunCycles {
+  uint64_t total = 0;       ///< boot to halt
+  uint64_t workload = 0;    ///< first EL0 entry to halt
+  uint64_t halt_code = 0;
+};
+
+/// Build a machine with `prot`, add the given user programs, run to halt and
+/// report cycles. The workload window starts when EL0 first executes.
+inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
+                              std::vector<obj::Program> programs,
+                              uint64_t max_steps = 400'000'000) {
+  kernel::MachineConfig cfg;
+  cfg.kernel.protection = prot;
+  cfg.kernel.log_pac_failures = false;
+  kernel::Machine m(cfg);
+  for (auto& p : programs) m.add_user_program(std::move(p));
+  m.boot();
+  uint64_t start = 0;
+  m.cpu().add_breakpoint(kernel::kUserBase, [&](cpu::Cpu& c) {
+    if (start == 0) start = c.cycles();
+  });
+  m.run(max_steps);
+  RunCycles r;
+  r.total = m.cpu().cycles();
+  r.workload = start == 0 ? r.total : r.total - start;
+  r.halt_code = m.halted() ? m.halt_code() : ~uint64_t{0};
+  return r;
+}
+
+inline void print_header(const char* id, const char* title,
+                         const char* paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace camo::bench

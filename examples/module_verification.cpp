@@ -1,0 +1,73 @@
+// Loadable-module demo (§4.1, §4.6): a well-behaved driver module loads,
+// has its statically initialised pointers signed in place, and runs; a
+// malicious module that tries to read a PAuth key register is rejected at
+// load time by the hypervisor's static verifier.
+#include <cstdio>
+
+#include "kernel/machine.h"
+#include "kernel/workloads.h"
+
+int main() {
+  using namespace camo;  // NOLINT
+
+  std::printf("Loadable kernel module verification demo\n");
+  std::printf("=========================================\n\n");
+
+  kernel::MachineConfig cfg;
+  cfg.kernel.protection = compiler::ProtectionConfig::full();
+  kernel::Machine m(cfg);
+
+  // A well-behaved driver: registers a statically initialised work item
+  // (module-local .pauth_init table) and calls it from its init.
+  obj::Program good;
+  {
+    auto& work = good.add_function("gooddrv_work");
+    work.mov_sym(9, kernel::kSymWorkCounter);
+    work.mov_imm(10, 42);
+    work.str(10, 9, 0);
+    work.ret();
+    good.add_data_u64("gooddrv_item", {0, 0});
+    good.add_abs64("gooddrv_item", 8, "gooddrv_work");
+    good.declare_signed_ptr("gooddrv_item", 8, kernel::kTypeWorkFunc,
+                            cpu::PacKey::IB);
+    auto& init = good.add_function("gooddrv_init");
+    init.frame_push();
+    init.mov_sym(9, "gooddrv_item");
+    init.ldr(10, 9, 8);
+    init.call_protected(10, 9, kernel::kTypeWorkFunc, cpu::PacKey::IB);
+    init.frame_pop_ret();
+  }
+  const int good_id = m.register_module("gooddrv", std::move(good));
+
+  // A malicious module: MRS of a PAuth key register (key exfiltration).
+  obj::Program evil;
+  {
+    auto& init = evil.add_function("evildrv_init");
+    init.mrs(0, isa::SysReg::APIBKeyLo);
+    init.mrs(1, isa::SysReg::APIBKeyHi);
+    init.ret();
+  }
+  const int evil_id = m.register_module("evildrv", std::move(evil));
+
+  // User space asks the kernel to load both.
+  m.add_user_program(
+      kernel::workloads::load_module(static_cast<uint64_t>(good_id)));
+  m.add_user_program(
+      kernel::workloads::load_module(static_cast<uint64_t>(evil_id)));
+  m.boot();
+  m.run();
+
+  std::printf("console output: \"%s\"  (Y = loaded, N = rejected)\n\n",
+              m.console().c_str());
+  std::printf("gooddrv: work counter is %llu (init ran through the "
+              "authenticated work pointer)\n",
+              static_cast<unsigned long long>(
+                  m.read_global(kernel::kSymWorkCounter)));
+  if (m.hyp().last_module_verify() && !m.hyp().last_module_verify()->ok()) {
+    std::printf("evildrv: rejected by the §4.1 verifier:\n  %s\n",
+                m.hyp().last_module_verify()->describe().c_str());
+  }
+  std::printf("\nloaded modules: %zu (only the verified one)\n",
+              m.hyp().loaded_modules().size());
+  return 0;
+}

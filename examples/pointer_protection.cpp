@@ -1,0 +1,76 @@
+// Pointer-integrity walkthrough (§4.3, §5.3): shows the exact instruction
+// sequences the instrumentation emits for the set_file_ops()/file_ops()
+// accessor pattern (Listing 4), then demonstrates on the live machine that
+// a signed f_ops pointer cannot be moved to another object or replaced.
+#include <cstdio>
+
+#include "assembler/builder.h"
+#include "attacks/attacks.h"
+#include "compiler/instrument.h"
+#include "kernel/machine.h"
+#include "kernel/workloads.h"
+#include "support/format.h"
+
+int main() {
+  using namespace camo;  // NOLINT
+
+  std::printf("Pointer integrity (DFI) walkthrough\n");
+  std::printf("===================================\n\n");
+
+  // 1. What the compiler emits for the accessors.
+  std::printf("file_ops() getter — load + authenticate (paper Listing 4):\n");
+  {
+    assembler::FunctionBuilder f("file_ops");
+    f.load_protected(8, 0, kernel::file::kFops, kernel::kTypeFileFops,
+                     cpu::PacKey::DB);
+    f.ret();
+    compiler::instrument(f, compiler::ProtectionConfig::full());
+    std::printf("%s\n", f.listing().c_str());
+  }
+  std::printf("set_file_ops() setter — sign + store:\n");
+  {
+    assembler::FunctionBuilder f("set_file_ops");
+    f.store_protected(1, 0, kernel::file::kFops, kernel::kTypeFileFops,
+                      cpu::PacKey::DB);
+    f.ret();
+    compiler::instrument(f, compiler::ProtectionConfig::full());
+    std::printf("%s\n", f.listing().c_str());
+  }
+  std::printf("(modifier = 16-bit type·member constant 0x%x in the low bits\n"
+              " with the 48-bit containing-object address above it, §4.3)\n\n",
+              kernel::kTypeFileFops);
+
+  // 2. Live demonstration: two open files, attacker swaps their signed
+  //    f_ops values (a classic reuse attack).
+  std::printf("cross-object reuse attack on the live kernel:\n");
+  {
+    const auto r =
+        attacks::run_fops_cross_object_swap(compiler::ProtectionConfig::full());
+    std::printf("  with DFI:    %s — %s\n", attacks::outcome_name(r.outcome),
+                r.detail.c_str());
+  }
+  {
+    const auto r =
+        attacks::run_fops_cross_object_swap(compiler::ProtectionConfig::none());
+    std::printf("  without DFI: %s — %s\n", attacks::outcome_name(r.outcome),
+                r.detail.c_str());
+  }
+
+  // 3. And a forged fake ops table.
+  std::printf("\nfake-operations-table attack (§4.5):\n");
+  {
+    const auto r = attacks::run_fops_redirect(compiler::ProtectionConfig::full());
+    std::printf("  with DFI:    %s — %s\n", attacks::outcome_name(r.outcome),
+                r.detail.c_str());
+    compiler::ProtectionConfig no_dfi = compiler::ProtectionConfig::full();
+    no_dfi.dfi = false;
+    const auto r2 = attacks::run_fops_redirect(no_dfi);
+    std::printf("  forward-edge CFI only: %s — %s\n",
+                attacks::outcome_name(r2.outcome), r2.detail.c_str());
+  }
+  std::printf(
+      "\ntakeaway (§4.5): f_ops is a *data* pointer to a table of function\n"
+      "pointers — forward-edge CFI alone cannot protect it; Camouflage signs\n"
+      "it with a data key bound to the owning struct file.\n");
+  return 0;
+}

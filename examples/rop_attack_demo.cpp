@@ -1,0 +1,71 @@
+// ROP attack demo: the same kernel-stack return-address overwrite (§2.1)
+// against four kernel builds — unprotected, Clang SP-only CFI, PARTS and
+// Camouflage — plus the replay scenarios that separate the schemes
+// (§6.2.1/§7).
+#include <cstdio>
+
+#include "attacks/attacks.h"
+
+int main() {
+  using namespace camo;  // NOLINT
+  using attacks::Outcome;
+  using compiler::BackwardScheme;
+
+  std::printf("Kernel ROP attack demo\n");
+  std::printf("======================\n\n");
+  std::printf(
+      "Scenario: the attacker has the threat-model write primitive (§3.1)\n"
+      "and overwrites the saved return address in a syscall's kernel stack\n"
+      "frame with the address of a privilege-escalation gadget.\n\n");
+
+  struct Build {
+    const char* what;
+    compiler::ProtectionConfig prot;
+  };
+  compiler::ProtectionConfig none = compiler::ProtectionConfig::none();
+  auto with = [](BackwardScheme s) {
+    compiler::ProtectionConfig c = compiler::ProtectionConfig::none();
+    c.backward = s;
+    return c;
+  };
+  const Build builds[] = {
+      {"unprotected kernel", none},
+      {"Clang-style CFI (pacia lr, sp — Listing 2)",
+       with(BackwardScheme::ClangSp)},
+      {"PARTS (16-bit SP + 48-bit LTO function id)",
+       with(BackwardScheme::Parts)},
+      {"Camouflage (32-bit SP + function address — Listing 3)",
+       with(BackwardScheme::Camouflage)},
+  };
+
+  for (const auto& b : builds) {
+    const auto r = attacks::run_rop_injection(b.prot);
+    std::printf("  %-52s -> %-8s  %s\n", b.what,
+                attacks::outcome_name(r.outcome), r.detail.c_str());
+  }
+
+  std::printf(
+      "\nAll three schemes detect *injection* of unsigned pointers. The\n"
+      "difference is replay of previously captured signed pointers:\n\n");
+  const attacks::ReplayScenario scenarios[] = {
+      attacks::ReplayScenario::DiffFunctionSameSp,
+      attacks::ReplayScenario::CrossThread64kStacks,
+      attacks::ReplayScenario::SameFunctionSameSp,
+  };
+  std::printf("  %-26s %-10s %-8s %-12s\n", "replay scenario", "clang-sp",
+              "parts", "camouflage");
+  for (const auto sc : scenarios) {
+    std::printf("  %-26s", attacks::replay_scenario_name(sc));
+    for (const auto s : {BackwardScheme::ClangSp, BackwardScheme::Parts,
+                         BackwardScheme::Camouflage})
+      std::printf(" %-9s",
+                  attacks::replay_accepted_on_cpu(s, sc) ? "BYPASSED"
+                                                         : "caught");
+    std::printf("\n");
+  }
+  std::printf(
+      "\nCamouflage's 32-bit-SP + function-address modifier defeats both\n"
+      "the Clang same-SP replay and the PARTS 64-KiB cross-thread replay;\n"
+      "only the same-function/same-SP window remains (acknowledged in §6.2.1).\n");
+  return 0;
+}

@@ -1,0 +1,212 @@
+#include "analysis/census.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/format.h"
+#include "support/rng.h"
+
+namespace camo::analysis {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Parse one member declaration line inside a struct body.
+/// Recognizes:  ret (*name)(args);   |   type *name;   |   type name;
+bool parse_member(std::string_view line, MemberInfo& out) {
+  line = trim(line);
+  if (line.empty() || line.back() != ';') return false;
+  line.remove_suffix(1);
+
+  const size_t fnptr = line.find("(*");
+  if (fnptr != std::string_view::npos) {
+    const size_t close = line.find(')', fnptr);
+    if (close == std::string_view::npos) return false;
+    // require a parameter list after the closing paren: ...)(...)
+    const size_t params = line.find('(', close);
+    if (params == std::string_view::npos) return false;
+    out.member_name = std::string(trim(line.substr(fnptr + 2, close - fnptr - 2)));
+    out.is_function_pointer = true;
+    return !out.member_name.empty();
+  }
+
+  // plain member: name is the last identifier; pointer if a '*' precedes it
+  size_t end = line.size();
+  while (end > 0 && !is_ident_char(line[end - 1])) return false;
+  size_t begin = end;
+  while (begin > 0 && is_ident_char(line[begin - 1])) --begin;
+  if (begin == end) return false;
+  out.member_name = std::string(line.substr(begin, end - begin));
+  out.is_data_pointer = line.substr(0, begin).find('*') != std::string_view::npos;
+  return true;
+}
+
+}  // namespace
+
+CensusResult run_census(const std::string& source) {
+  CensusResult result;
+
+  // Pass 1: struct declarations.
+  std::istringstream in(source);
+  std::string line;
+  std::string current_type;
+  while (std::getline(in, line)) {
+    const std::string_view lv = trim(line);
+    if (current_type.empty()) {
+      // "struct name {"
+      if (lv.rfind("struct ", 0) == 0 && lv.find('{') != std::string_view::npos) {
+        std::string_view rest = lv.substr(7);
+        size_t end = 0;
+        while (end < rest.size() && is_ident_char(rest[end])) ++end;
+        current_type = std::string(rest.substr(0, end));
+      }
+      continue;
+    }
+    if (lv.rfind("};", 0) == 0 || lv == "}") {
+      current_type.clear();
+      continue;
+    }
+    MemberInfo m;
+    if (parse_member(lv, m)) {
+      m.type_name = current_type;
+      result.members.push_back(std::move(m));
+    }
+  }
+
+  // Pass 2: run-time assignment sites ("->member =" / ".member =").
+  // Member names in the corpus are unique per (type, member), so a textual
+  // match suffices — Coccinelle does this with type information instead.
+  for (auto& m : result.members) {
+    if (!m.is_function_pointer && !m.is_data_pointer) continue;
+    for (const std::string& pat :
+         {"->" + m.member_name + " =", "." + m.member_name + " ="}) {
+      size_t pos = 0;
+      while ((pos = source.find(pat, pos)) != std::string::npos) {
+        // Exclude designated initializers (".x =" inside braces is counted
+        // separately by checking the preceding non-space char).
+        size_t back = pos;
+        while (back > 0 &&
+               (source[back - 1] == ' ' || source[back - 1] == '\t' ||
+                source[back - 1] == '\n' || source[back - 1] == '\r'))
+          --back;
+        const bool initializer =
+            pat[0] == '.' && back > 0 &&
+            (source[back - 1] == '{' || source[back - 1] == ',');
+        if (!initializer) ++m.runtime_assignments;
+        pos += pat.size();
+      }
+    }
+  }
+
+  // Aggregate.
+  std::map<std::string, unsigned> fn_types;        // type -> fn ptr members
+  std::map<std::string, unsigned> runtime_types;   // type -> runtime members
+  for (const auto& m : result.members) {
+    if (m.is_data_pointer) ++result.data_ptr_members;
+    if (!m.is_function_pointer) continue;
+    ++fn_types[m.type_name];
+    if (m.runtime_assignments > 0) {
+      ++result.runtime_assigned_members;
+      ++runtime_types[m.type_name];
+    }
+  }
+  result.types_with_fn_ptrs = static_cast<unsigned>(fn_types.size());
+  result.types_with_runtime_members = static_cast<unsigned>(runtime_types.size());
+  for (const auto& [t, n] : runtime_types)
+    if (n > 1) ++result.types_with_multiple;
+  return result;
+}
+
+std::string CensusResult::summary() const {
+  return strformat(
+      "%u run-time-assigned function-pointer members in %u compound types "
+      "(%u types with more than one; %u data-pointer members; %u types "
+      "declare function pointers overall)",
+      runtime_assigned_members, types_with_runtime_members,
+      types_with_multiple, data_ptr_members, types_with_fn_ptrs);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus generator
+// ---------------------------------------------------------------------------
+
+std::string generate_driver_corpus(const CorpusSpec& spec) {
+  if (spec.total_members < spec.single_ptr_types + 2 * spec.multi_ptr_types)
+    fail("census corpus: total_members too small for the type split");
+  Xoshiro256 rng(spec.seed);
+  std::ostringstream os;
+  os << "/* synthetic driver corpus: generated, seed " << spec.seed << " */\n";
+
+  unsigned member_serial = 0;
+  std::vector<std::pair<std::string, std::vector<std::string>>> assign_plan;
+
+  auto emit_type = [&](unsigned index, unsigned fn_ptrs, bool runtime) {
+    const std::string tname = strformat("drv_state_%u", index);
+    os << "struct " << tname << " {\n";
+    os << "  int status;\n";
+    os << "  void *priv_" << index << ";\n";
+    std::vector<std::string> members;
+    for (unsigned i = 0; i < fn_ptrs; ++i) {
+      const std::string mname = strformat("cb_%u", member_serial++);
+      os << "  int (*" << mname << ")(struct " << tname << " *, int);\n";
+      members.push_back(mname);
+    }
+    os << "  unsigned long flags_" << index << ";\n";
+    os << "};\n\n";
+    if (runtime) assign_plan.emplace_back(tname, std::move(members));
+  };
+
+  // Distribute the runtime-assigned members: single-ptr types get 1 each,
+  // multi-ptr types share the remainder (each at least 2).
+  unsigned index = 0;
+  for (unsigned i = 0; i < spec.single_ptr_types; ++i) emit_type(index++, 1, true);
+  unsigned remaining = spec.total_members - spec.single_ptr_types;
+  for (unsigned i = 0; i < spec.multi_ptr_types; ++i) {
+    const unsigned left_types = spec.multi_ptr_types - i;
+    const unsigned max_extra = remaining - 2 * left_types;
+    const unsigned take =
+        2 + (i + 1 == spec.multi_ptr_types
+                 ? max_extra
+                 : static_cast<unsigned>(rng.next_below(
+                       std::min<uint64_t>(max_extra, 5) + 1)));
+    emit_type(index++, take, true);
+    remaining -= take;
+  }
+
+  // Well-behaved const operations structures (not runtime-assigned).
+  for (unsigned i = 0; i < spec.const_ops_types; ++i) {
+    const std::string tname = strformat("good_ops_%u", i);
+    os << "struct " << tname << " {\n";
+    os << "  long (*read_" << i << ")(void *, char *, unsigned long);\n";
+    os << "  long (*write_" << i << ")(void *, const char *, unsigned long);\n";
+    os << "};\n";
+    os << "static const struct " << tname << " ops_" << i << " = {\n";
+    os << "  .read_" << i << " = generic_read,\n";
+    os << "  .write_" << i << " = generic_write,\n";
+    os << "};\n\n";
+  }
+
+  // Run-time assignment sites, shuffled across "probe functions".
+  os << "/* --- driver probe functions --- */\n";
+  for (const auto& [tname, members] : assign_plan) {
+    os << "static int " << tname << "_probe(struct " << tname << " *st) {\n";
+    for (const auto& m : members)
+      os << "  st->" << m << " = " << tname << "_handle_" << m << ";\n";
+    os << "  return 0;\n}\n\n";
+  }
+  return os.str();
+}
+
+}  // namespace camo::analysis

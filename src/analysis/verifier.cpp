@@ -1,0 +1,82 @@
+#include "analysis/verifier.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "support/format.h"
+
+namespace camo::analysis {
+
+using isa::Inst;
+using isa::Op;
+using isa::SysReg;
+
+const char* violation_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::KeyRegisterRead: return "pauth-key-read";
+    case ViolationKind::SctlrWrite: return "sctlr-write";
+    case ViolationKind::KeyRegisterWrite: return "pauth-key-write";
+  }
+  return "<bad-violation>";
+}
+
+std::string VerifyResult::describe() const {
+  std::ostringstream os;
+  os << "scanned " << words_scanned << " words, " << violations.size()
+     << " violation(s)";
+  for (const auto& v : violations)
+    os << "\n  " << violation_name(v.kind) << " at " << hex(v.va) << ": "
+       << v.detail;
+  return os.str();
+}
+
+void Verifier::allow_sctlr_writes(uint64_t va, uint64_t len) {
+  sctlr_allowed_.push_back({va, len});
+}
+
+void Verifier::allow_key_writes(uint64_t va, uint64_t len) {
+  key_write_allowed_.push_back({va, len});
+}
+
+VerifyResult Verifier::verify_words(const uint32_t* words, size_t count,
+                                    uint64_t base_va) const {
+  VerifyResult result;
+  result.words_scanned = count;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t va = base_va + i * 4;
+    const Inst inst = isa::decode(words[i]);
+    if (inst.op == Op::MRS && isa::is_pauth_key_reg(inst.sysreg)) {
+      result.violations.push_back(
+          {ViolationKind::KeyRegisterRead, va, isa::disasm(inst, va)});
+    } else if (inst.op == Op::MSR && inst.sysreg == SysReg::SCTLR_EL1) {
+      bool allowed = false;
+      for (const auto& r : sctlr_allowed_) allowed |= r.contains(va);
+      if (!allowed)
+        result.violations.push_back(
+            {ViolationKind::SctlrWrite, va, isa::disasm(inst, va)});
+    } else if (inst.op == Op::MSR && isa::is_pauth_key_reg(inst.sysreg)) {
+      bool allowed = false;
+      for (const auto& r : key_write_allowed_) allowed |= r.contains(va);
+      if (!allowed)
+        result.violations.push_back(
+            {ViolationKind::KeyRegisterWrite, va, isa::disasm(inst, va)});
+    }
+  }
+  return result;
+}
+
+VerifyResult Verifier::verify_image(const obj::Image& image) const {
+  VerifyResult total;
+  for (const auto& seg : image.segments) {
+    if (seg.kind != obj::SectionKind::Text) continue;
+    std::vector<uint32_t> words(seg.bytes.size() / 4);
+    std::memcpy(words.data(), seg.bytes.data(), words.size() * 4);
+    auto r = verify_words(words.data(), words.size(), seg.va);
+    total.words_scanned += r.words_scanned;
+    total.violations.insert(total.violations.end(), r.violations.begin(),
+                            r.violations.end());
+  }
+  return total;
+}
+
+}  // namespace camo::analysis

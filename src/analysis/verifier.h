@@ -1,0 +1,69 @@
+// Static code verification (§4.1, §6.2.2).
+//
+// The kernel never needs to *read* the PAuth key registers, so the paper
+// verifies — over the whole kernel image and over every loadable module at
+// load time — that no MRS of a key register exists, and that no code could
+// corrupt the PAuth enable flags in SCTLR_EL1 (which would silently disable
+// the protection). "Because MRS system register read instructions
+// immediately address the read register, key reads can be trivially found
+// and rejected (e.g., when loading a module)."
+//
+// The verifier scans encoded instruction words. A region allow-list exempts
+// the blessed early-boot code that legitimately configures SCTLR_EL1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "obj/object.h"
+
+namespace camo::analysis {
+
+enum class ViolationKind : uint8_t {
+  KeyRegisterRead,    ///< MRS of an AP*Key* register
+  SctlrWrite,         ///< MSR SCTLR_EL1 outside an allow-listed region
+  KeyRegisterWrite,   ///< MSR of an AP*Key* register outside the key setter
+};
+
+const char* violation_name(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind;
+  uint64_t va;
+  std::string detail;
+};
+
+struct VerifyResult {
+  std::vector<Violation> violations;
+  uint64_t words_scanned = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string describe() const;
+};
+
+class Verifier {
+ public:
+  /// Exempt [va, va+len) from a class of checks (the early-boot SCTLR setup
+  /// and the XOM key-setter function).
+  void allow_sctlr_writes(uint64_t va, uint64_t len);
+  void allow_key_writes(uint64_t va, uint64_t len);
+
+  /// Scan raw encoded words located at base_va.
+  VerifyResult verify_words(const uint32_t* words, size_t count,
+                            uint64_t base_va) const;
+
+  /// Scan every text segment of a linked image.
+  VerifyResult verify_image(const obj::Image& image) const;
+
+ private:
+  struct Range {
+    uint64_t va, len;
+    bool contains(uint64_t p) const { return p >= va && p < va + len; }
+  };
+  std::vector<Range> sctlr_allowed_;
+  std::vector<Range> key_write_allowed_;
+};
+
+}  // namespace camo::analysis

@@ -1,0 +1,70 @@
+#include "core/bootloader.h"
+
+#include "core/keysetter.h"
+#include "support/bits.h"
+#include "support/error.h"
+
+namespace camo::core {
+
+BootResult Bootloader::boot(obj::Program kernel, const BootConfig& cfg,
+                            hyp::Hypervisor& hv, cpu::Cpu& cpu,
+                            uint64_t kernel_base, uint64_t boot_sp) {
+  if (!is_aligned(kernel_base, mem::VaLayout::kPageSize))
+    fail("bootloader: kernel base must be page aligned");
+
+  BootResult result;
+  result.keys = KernelKeys::generate(cfg.seed);
+
+  // Key usage follows the build flavour: compat builds can only switch the
+  // shared IB key (§5.5).
+  const KeyUsage usage =
+      cfg.protection.compat_mode ? KeyUsage::compat() : cfg.key_usage;
+
+  // Splice the synthesized key setter in front so it occupies the (page
+  // aligned) first page of .text.
+  kernel.add_function_front(make_key_setter(result.keys, usage));
+
+  compiler::instrument(kernel, cfg.protection);
+  result.kernel_image = obj::Linker::link(kernel, kernel_base);
+  result.key_setter_va = result.kernel_image.symbol(kKeySetterSymbol);
+  result.entry_va = result.kernel_image.symbol(cfg.entry_symbol);
+
+  // §4.1 static verification of the full kernel image.
+  hv.verifier().allow_key_writes(result.key_setter_va,
+                                 mem::VaLayout::kPageSize);
+  for (const auto& sym : cfg.key_write_symbols) {
+    if (!result.kernel_image.has_symbol(sym)) continue;
+    hv.verifier().allow_key_writes(result.kernel_image.symbol(sym),
+                                   result.kernel_image.function_sizes.at(sym));
+  }
+  if (result.kernel_image.has_symbol(cfg.early_boot_symbol)) {
+    const uint64_t eb = result.kernel_image.symbol(cfg.early_boot_symbol);
+    const auto it =
+        result.kernel_image.function_sizes.find(cfg.early_boot_symbol);
+    const uint64_t len = it == result.kernel_image.function_sizes.end()
+                             ? mem::VaLayout::kPageSize
+                             : it->second;
+    hv.verifier().allow_sctlr_writes(eb, len);
+  }
+  result.kernel_verify = hv.verifier().verify_image(result.kernel_image);
+  if (cfg.verify_kernel && !result.kernel_verify.ok())
+    fail("bootloader: kernel verification failed: " +
+         result.kernel_verify.describe());
+
+  // Load and lock down memory; conceal the keys behind XOM.
+  hv.load_image(result.kernel_image, hv.kernel_map(), /*user=*/false);
+  hv.protect_xom(result.key_setter_va, mem::VaLayout::kPageSize);
+  hv.set_kernel_exports(result.kernel_image.symbols);
+  hv.install(cpu);
+
+  // Hand over to EL1: MMU state is hypervisor-owned, PAuth still disabled in
+  // SCTLR (early boot enables it), IRQs masked.
+  cpu.pstate.el = mem::El::El1;
+  cpu.pstate.irq_masked = true;
+  cpu.set_sysreg(isa::SysReg::SCTLR_EL1, 0);
+  cpu.set_sp_el(mem::El::El1, boot_sp);
+  cpu.pc = result.entry_va;
+  return result;
+}
+
+}  // namespace camo::core

@@ -1,0 +1,30 @@
+#include "core/keys.h"
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace camo::core {
+
+KernelKeys KernelKeys::generate(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  KernelKeys k;
+  k.ia = {rng.next(), rng.next()};
+  k.ib = {rng.next(), rng.next()};
+  k.da = {rng.next(), rng.next()};
+  k.db = {rng.next(), rng.next()};
+  k.ga = {rng.next(), rng.next()};
+  return k;
+}
+
+const qarma::Key128& KernelKeys::key(cpu::PacKey k) const {
+  switch (k) {
+    case cpu::PacKey::IA: return ia;
+    case cpu::PacKey::IB: return ib;
+    case cpu::PacKey::DA: return da;
+    case cpu::PacKey::DB: return db;
+    case cpu::PacKey::GA: return ga;
+  }
+  fail("KernelKeys: bad key id");
+}
+
+}  // namespace camo::core

@@ -1,0 +1,37 @@
+// Host-side mirrors of the PAuth modifier constructions (§4.2, §4.3).
+//
+// Guest code builds these with MOVZ/BFI sequences (see compiler/instrument);
+// these helpers compute the same values on the host so attacks, benches and
+// tests can predict/forge modifiers and reason about replay windows.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bits.h"
+
+namespace camo::core {
+
+/// Camouflage return-address modifier: low 32 bits of the function address
+/// (from PC) with the low 32 bits of SP in the upper half (Listing 3).
+constexpr uint64_t camouflage_return_modifier(uint64_t sp, uint64_t func) {
+  return (func & mask(32)) | ((sp & mask(32)) << 32);
+}
+
+/// Reference (Qualcomm/Clang) scheme: SP alone is the modifier (Listing 2).
+constexpr uint64_t clang_return_modifier(uint64_t sp) { return sp; }
+
+/// PARTS scheme: 48-bit LTO function id with the low 16 bits of SP on top —
+/// the construction whose 16-bit SP window §7 shows is replayable across
+/// kernel stacks 2^16 bytes apart.
+constexpr uint64_t parts_return_modifier(uint64_t sp, uint64_t func_id) {
+  return (func_id & mask(48)) | ((sp & mask(16)) << 48);
+}
+
+/// Pointer-integrity modifier (§4.3): 16-bit type·member constant in the low
+/// bits, the containing object's 48-bit address above. Unique per live
+/// object, segregates pointer types at the same address.
+constexpr uint64_t object_modifier(uint64_t object_addr, uint16_t type_id) {
+  return type_id | ((object_addr & mask(48)) << 16);
+}
+
+}  // namespace camo::core

@@ -1,0 +1,855 @@
+#include "cpu/cpu.h"
+
+#include <array>
+
+#include "support/bits.h"
+#include "support/error.h"
+
+namespace camo::cpu {
+
+using isa::Inst;
+using isa::Op;
+using isa::SysReg;
+using mem::El;
+using mem::FaultKind;
+
+const char* exc_class_name(ExcClass c) {
+  switch (c) {
+    case ExcClass::Unknown: return "unknown";
+    case ExcClass::Svc: return "svc";
+    case ExcClass::Brk: return "brk";
+    case ExcClass::InsnAbort: return "insn-abort";
+    case ExcClass::DataAbort: return "data-abort";
+    case ExcClass::Undefined: return "undefined";
+    case ExcClass::PacFail: return "pac-fail";
+    case ExcClass::Irq: return "irq";
+  }
+  return "<bad-class>";
+}
+
+Cpu::Cpu(mem::Mmu& mmu, Config cfg)
+    : mmu_(&mmu), cfg_(cfg), pauth_(cfg.layout) {}
+
+// ---------------------------------------------------------------------------
+// Registers
+// ---------------------------------------------------------------------------
+
+uint64_t Cpu::x(unsigned i) const {
+  if (i >= 31) return 0;
+  return gpr_[i];
+}
+
+void Cpu::set_x(unsigned i, uint64_t v) {
+  if (i >= 31) return;
+  gpr_[i] = v;
+}
+
+uint64_t Cpu::sp() const {
+  return pstate.el == El::El0 ? sp_el0_ : sp_el1_;
+}
+
+void Cpu::set_sp(uint64_t v) {
+  (pstate.el == El::El0 ? sp_el0_ : sp_el1_) = v;
+}
+
+uint64_t Cpu::sp_el(El el) const { return el == El::El0 ? sp_el0_ : sp_el1_; }
+void Cpu::set_sp_el(El el, uint64_t v) {
+  (el == El::El0 ? sp_el0_ : sp_el1_) = v;
+}
+
+uint64_t Cpu::sysreg(SysReg r) const {
+  switch (r) {
+    case SysReg::CurrentEL:
+      return static_cast<uint64_t>(pstate.el) << 2;
+    case SysReg::CNTVCT_EL0:
+      return cycles_;
+    case SysReg::DAIF:
+      return pstate.irq_masked ? (uint64_t{1} << 7) : 0;
+    case SysReg::SP_EL0:
+      return sp_el0_;
+    default:
+      return sys_[static_cast<size_t>(r)];
+  }
+}
+
+void Cpu::set_sysreg(SysReg r, uint64_t v) {
+  switch (r) {
+    case SysReg::CurrentEL:
+    case SysReg::CNTVCT_EL0:
+      return;  // read-only
+    case SysReg::DAIF:
+      pstate.irq_masked = (v >> 7) & 1;
+      return;
+    case SysReg::SP_EL0:
+      sp_el0_ = v;
+      return;
+    default:
+      sys_[static_cast<size_t>(r)] = v;
+  }
+}
+
+qarma::Key128 Cpu::pac_key(PacKey k) const {
+  // §8 extension: privileged execution draws from the EL2-managed bank.
+  if (cfg_.banked_keys && pstate.el != El::El0)
+    return kernel_bank_[static_cast<size_t>(k)];
+  const auto base = static_cast<size_t>(k) * 2;
+  return {sys_[base + 1], sys_[base]};  // {Hi as w0, Lo as k0}
+}
+
+void Cpu::set_kernel_bank_key(PacKey k, const qarma::Key128& key) {
+  kernel_bank_[static_cast<size_t>(k)] = key;
+}
+
+// ---------------------------------------------------------------------------
+// ESR packing
+// ---------------------------------------------------------------------------
+
+uint64_t Cpu::esr_pack(ExcClass cls, uint16_t iss, FaultKind fk) {
+  return (static_cast<uint64_t>(cls) << 56) |
+         (static_cast<uint64_t>(fk) << 16) | iss;
+}
+ExcClass Cpu::esr_class(uint64_t esr) {
+  return static_cast<ExcClass>(bits(esr, 56, 8));
+}
+uint16_t Cpu::esr_iss(uint64_t esr) { return static_cast<uint16_t>(esr); }
+FaultKind Cpu::esr_fault(uint64_t esr) {
+  return static_cast<FaultKind>(bits(esr, 16, 8));
+}
+
+// ---------------------------------------------------------------------------
+// Cycle model (PA-analogue, §6.1)
+// ---------------------------------------------------------------------------
+
+unsigned Cpu::cycle_cost(const Inst& inst) {
+  switch (inst.op) {
+    case Op::LDR:
+    case Op::LDRB:
+      return 3;
+    case Op::LDP:
+    case Op::LDP_POST:
+      return 4;
+    case Op::STR:
+    case Op::STRB:
+      return 1;
+    case Op::STP:
+    case Op::STP_PRE:
+      return 2;
+    case Op::MUL:
+      return 3;
+    case Op::UDIV:
+      return 12;
+    case Op::B:
+    case Op::BL:
+    case Op::BR:
+    case Op::BLR:
+    case Op::RET:
+    case Op::CBZ:
+    case Op::CBNZ:
+    case Op::BCOND:
+      return 2;
+    // PAuth: 4 cycles each (the PA-analogue estimate used by the paper and
+    // by PARTS); the combined branch forms pay auth + branch.
+    case Op::PACIA:
+    case Op::PACIB:
+    case Op::PACDA:
+    case Op::PACDB:
+    case Op::AUTIA:
+    case Op::AUTIB:
+    case Op::AUTDA:
+    case Op::AUTDB:
+    case Op::PACGA:
+    case Op::XPACI:
+    case Op::XPACD:
+    case Op::PACIASP:
+    case Op::AUTIASP:
+    case Op::PACIBSP:
+    case Op::AUTIBSP:
+    case Op::PACIA1716:
+    case Op::PACIB1716:
+    case Op::AUTIA1716:
+    case Op::AUTIB1716:
+    case Op::XPACLRI:
+      return 4;
+    case Op::RETAA:
+    case Op::RETAB:
+    case Op::BRAA:
+    case Op::BRAB:
+    case Op::BLRAA:
+    case Op::BLRAB:
+      return 6;
+    case Op::MRS:
+      return 2;
+    case Op::MSR:
+      // Writing PAuth key registers is costed so that one 128-bit key switch
+      // comes to ~9 cycles, the figure measured in §6.1.1.
+      if (isa::is_pauth_key_reg(inst.sysreg))
+        return (static_cast<unsigned>(inst.sysreg) & 1) ? 5 : 4;  // Hi : Lo
+      return 3;
+    case Op::ISB:
+      return 8;
+    case Op::SVC:
+    case Op::HVC:
+      return 4;  // plus exception-entry cost
+    case Op::ERET:
+      return 8;
+    default:
+      return 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exceptions
+// ---------------------------------------------------------------------------
+
+void Cpu::take_exception(ExcClass cls, uint64_t far, uint16_t iss,
+                         FaultKind fk, uint64_t preferred_return) {
+  // Pack PSTATE into our SPSR layout: el[1:0], irq_masked[7], NZCV[31:28].
+  uint64_t spsr = static_cast<uint64_t>(pstate.el);
+  if (pstate.irq_masked) spsr |= uint64_t{1} << 7;
+  spsr |= (static_cast<uint64_t>(pstate.n) << 31) |
+          (static_cast<uint64_t>(pstate.z) << 30) |
+          (static_cast<uint64_t>(pstate.c) << 29) |
+          (static_cast<uint64_t>(pstate.v) << 28);
+  sys_[static_cast<size_t>(SysReg::SPSR_EL1)] = spsr;
+  sys_[static_cast<size_t>(SysReg::ELR_EL1)] = preferred_return;
+  sys_[static_cast<size_t>(SysReg::ESR_EL1)] = esr_pack(cls, iss, fk);
+  sys_[static_cast<size_t>(SysReg::FAR_EL1)] = far;
+
+  uint64_t offset;
+  if (cls == ExcClass::Irq)
+    offset = pstate.el == El::El0 ? kVecIrqEl0 : kVecIrqEl1;
+  else
+    offset = pstate.el == El::El0 ? kVecSyncEl0 : kVecSyncEl1;
+
+  pstate.el = El::El1;
+  pstate.irq_masked = true;
+  pc = sys_[static_cast<size_t>(SysReg::VBAR_EL1)] + offset;
+  cycles_ += 12;  // exception entry microarchitectural cost
+}
+
+void Cpu::do_eret() {
+  const uint64_t spsr = sys_[static_cast<size_t>(SysReg::SPSR_EL1)];
+  pstate.el = static_cast<El>(spsr & 0x3);
+  pstate.irq_masked = (spsr >> 7) & 1;
+  pstate.n = (spsr >> 31) & 1;
+  pstate.z = (spsr >> 30) & 1;
+  pstate.c = (spsr >> 29) & 1;
+  pstate.v = (spsr >> 28) & 1;
+  pc = sys_[static_cast<size_t>(SysReg::ELR_EL1)];
+}
+
+// ---------------------------------------------------------------------------
+// Memory helpers
+// ---------------------------------------------------------------------------
+
+bool Cpu::mem_read64(uint64_t va, uint64_t& out) {
+  const auto r = mmu_->read64(va, pstate.el);
+  if (r.fault != FaultKind::None) {
+    take_exception(ExcClass::DataAbort, va, 0, r.fault, pc - 4);
+    return false;
+  }
+  out = r.value;
+  return true;
+}
+
+bool Cpu::mem_write64(uint64_t va, uint64_t v) {
+  const auto f = mmu_->write64(va, v, pstate.el);
+  if (f != FaultKind::None) {
+    take_exception(ExcClass::DataAbort, va, 0, f, pc - 4);
+    return false;
+  }
+  return true;
+}
+
+bool Cpu::mem_read8(uint64_t va, uint64_t& out) {
+  const auto r = mmu_->read8(va, pstate.el);
+  if (r.fault != FaultKind::None) {
+    take_exception(ExcClass::DataAbort, va, 0, r.fault, pc - 4);
+    return false;
+  }
+  out = r.value;
+  return true;
+}
+
+bool Cpu::mem_write8(uint64_t va, uint8_t v) {
+  const auto f = mmu_->write8(va, v, pstate.el);
+  if (f != FaultKind::None) {
+    take_exception(ExcClass::DataAbort, va, 0, f, pc - 4);
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PAuth helpers
+// ---------------------------------------------------------------------------
+
+bool Cpu::pauth_enabled(PacKey k) const {
+  const uint64_t sctlr = sys_[static_cast<size_t>(SysReg::SCTLR_EL1)];
+  switch (k) {
+    case PacKey::IA: return sctlr & isa::kSctlrEnIA;
+    case PacKey::IB: return sctlr & isa::kSctlrEnIB;
+    case PacKey::DA: return sctlr & isa::kSctlrEnDA;
+    case PacKey::DB: return sctlr & isa::kSctlrEnDB;
+    case PacKey::GA: return true;  // no SCTLR gate for the generic key
+  }
+  return false;
+}
+
+uint64_t Cpu::do_pac(uint64_t ptr, uint64_t modifier, PacKey k) {
+  if (!pauth_enabled(k)) return ptr;  // disabled keys make PAC* a no-op
+  return pauth_.add_pac(ptr, modifier, pac_key(k));
+}
+
+uint64_t Cpu::do_aut(uint64_t ptr, uint64_t modifier, PacKey k, Op op,
+                     bool& fault_taken) {
+  fault_taken = false;
+  if (!pauth_enabled(k)) return ptr;
+  const auto r = pauth_.auth(ptr, modifier, pac_key(k), k);
+  if (!r.ok) {
+    if (pac_observer_) pac_observer_(*this, op, ptr);
+    if (cfg_.fpac) {
+      take_exception(ExcClass::PacFail, ptr, 0, FaultKind::None, pc - 4);
+      fault_taken = true;
+      return ptr;
+    }
+  }
+  return r.ptr;
+}
+
+// ---------------------------------------------------------------------------
+// Step
+// ---------------------------------------------------------------------------
+
+void Cpu::set_timer(uint64_t cycles) {
+  timer_cycles_ = cycles == 0 ? 0 : cycles_ + cycles;
+}
+
+void Cpu::set_timer_period(uint64_t cycles) {
+  timer_period_ = cycles;
+  set_timer(cycles);
+}
+
+void Cpu::add_breakpoint(uint64_t va, Hook hook) {
+  breakpoints_[va].push_back(std::move(hook));
+}
+
+bool Cpu::step() {
+  if (halted_) return false;
+
+  if (timer_cycles_ != 0 && cycles_ >= timer_cycles_) {
+    timer_cycles_ = timer_period_ == 0 ? 0 : cycles_ + timer_period_;
+    irq_pending_ = true;
+  }
+  if (irq_pending_ && !pstate.irq_masked) {
+    irq_pending_ = false;
+    take_exception(ExcClass::Irq, 0, 0, FaultKind::None, pc);
+    return true;
+  }
+
+  if (!breakpoints_.empty()) {
+    auto it = breakpoints_.find(pc);
+    if (it != breakpoints_.end()) {
+      // Copy: hooks may add/remove breakpoints.
+      const auto hooks = it->second;
+      for (const auto& h : hooks) h(*this);
+      if (halted_) return false;
+    }
+  }
+
+  const uint64_t iaddr = pc;
+  if (!is_aligned(iaddr, 4)) {
+    take_exception(ExcClass::InsnAbort, iaddr, 0, FaultKind::AddressSize,
+                   iaddr);
+    return true;
+  }
+  const auto fetched = mmu_->read32_fetch(iaddr, pstate.el);
+  if (fetched.fault != FaultKind::None) {
+    take_exception(ExcClass::InsnAbort, iaddr, 0, fetched.fault, iaddr);
+    return true;
+  }
+  const Inst inst = isa::decode(static_cast<uint32_t>(fetched.value));
+  if (trace_) trace_(*this, iaddr, inst);
+
+  pc = iaddr + 4;
+  execute(inst);
+
+  cycles_ += cfg_.enable_cycle_model ? cycle_cost(inst) : 1;
+  ++instret_;
+  ++op_counts_[static_cast<size_t>(inst.op)];
+  return !halted_;
+}
+
+uint64_t Cpu::run(uint64_t max_steps) {
+  uint64_t n = 0;
+  while (n < max_steps && step()) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Execute
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool cond_holds(isa::Cond cond, const Pstate& ps) {
+  using isa::Cond;
+  switch (cond) {
+    case Cond::EQ: return ps.z;
+    case Cond::NE: return !ps.z;
+    case Cond::HS: return ps.c;
+    case Cond::LO: return !ps.c;
+    case Cond::MI: return ps.n;
+    case Cond::PL: return !ps.n;
+    case Cond::HI: return ps.c && !ps.z;
+    case Cond::LS: return !ps.c || ps.z;
+    case Cond::GE: return ps.n == ps.v;
+    case Cond::LT: return ps.n != ps.v;
+    case Cond::GT: return !ps.z && ps.n == ps.v;
+    case Cond::LE: return ps.z || ps.n != ps.v;
+    case Cond::AL: return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint64_t Cpu::read_gpr_or_sp(unsigned i) const {
+  return i == isa::kRegZrSp ? sp() : gpr_[i];
+}
+
+void Cpu::write_gpr_or_sp(unsigned i, uint64_t v) {
+  if (i == isa::kRegZrSp)
+    set_sp(v);
+  else
+    gpr_[i] = v;
+}
+
+void Cpu::execute(const Inst& inst) {
+  const uint64_t iaddr = pc - 4;
+
+  auto set_add_flags = [&](uint64_t a, uint64_t b, uint64_t res) {
+    pstate.n = res >> 63;
+    pstate.z = res == 0;
+    pstate.c = res < a;  // carry out of unsigned add
+    pstate.v = (~(a ^ b) & (a ^ res)) >> 63;
+  };
+  auto set_sub_flags = [&](uint64_t a, uint64_t b, uint64_t res) {
+    pstate.n = res >> 63;
+    pstate.z = res == 0;
+    pstate.c = a >= b;  // no borrow
+    pstate.v = ((a ^ b) & (a ^ res)) >> 63;
+  };
+  auto undefined = [&] {
+    take_exception(ExcClass::Undefined, 0,
+                   static_cast<uint16_t>(inst.op), FaultKind::None, iaddr);
+  };
+  auto require_el1 = [&]() -> bool {
+    if (pstate.el == El::El0) {
+      undefined();
+      return false;
+    }
+    return true;
+  };
+
+  switch (inst.op) {
+    case Op::Invalid:
+      undefined();
+      break;
+
+    // ---- moves ----
+    case Op::MOVZ:
+      set_x(inst.rd, static_cast<uint64_t>(inst.imm) << (16 * inst.hw));
+      break;
+    case Op::MOVK:
+      set_x(inst.rd, insert_bits(x(inst.rd), 16u * inst.hw, 16,
+                                 static_cast<uint64_t>(inst.imm)));
+      break;
+    case Op::MOVN:
+      set_x(inst.rd, ~(static_cast<uint64_t>(inst.imm) << (16 * inst.hw)));
+      break;
+
+    // ---- register data processing ----
+    case Op::ADD:
+      set_x(inst.rd, x(inst.rn) + x(inst.rm));
+      break;
+    case Op::SUB:
+      set_x(inst.rd, x(inst.rn) - x(inst.rm));
+      break;
+    case Op::ADDS: {
+      const uint64_t a = x(inst.rn), b = x(inst.rm), r = a + b;
+      set_add_flags(a, b, r);
+      set_x(inst.rd, r);
+      break;
+    }
+    case Op::SUBS: {
+      const uint64_t a = x(inst.rn), b = x(inst.rm), r = a - b;
+      set_sub_flags(a, b, r);
+      set_x(inst.rd, r);
+      break;
+    }
+    case Op::AND:
+      set_x(inst.rd, x(inst.rn) & x(inst.rm));
+      break;
+    case Op::ORR:
+      set_x(inst.rd, x(inst.rn) | x(inst.rm));
+      break;
+    case Op::EOR:
+      set_x(inst.rd, x(inst.rn) ^ x(inst.rm));
+      break;
+    case Op::MUL:
+      set_x(inst.rd, x(inst.rn) * x(inst.rm));
+      break;
+    case Op::UDIV: {
+      const uint64_t d = x(inst.rm);
+      set_x(inst.rd, d == 0 ? 0 : x(inst.rn) / d);
+      break;
+    }
+    case Op::LSLV:
+      set_x(inst.rd, x(inst.rn) << (x(inst.rm) & 63));
+      break;
+    case Op::LSRV:
+      set_x(inst.rd, x(inst.rn) >> (x(inst.rm) & 63));
+      break;
+
+    // ---- immediate data processing (rd/rn may be SP for ADD/SUB) ----
+    case Op::ADDI:
+      write_gpr_or_sp(inst.rd,
+                      read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm));
+      break;
+    case Op::SUBI:
+      write_gpr_or_sp(inst.rd,
+                      read_gpr_or_sp(inst.rn) - static_cast<uint64_t>(inst.imm));
+      break;
+    case Op::ADDSI: {
+      const uint64_t a = read_gpr_or_sp(inst.rn);
+      const uint64_t b = static_cast<uint64_t>(inst.imm);
+      const uint64_t r = a + b;
+      set_add_flags(a, b, r);
+      set_x(inst.rd, r);
+      break;
+    }
+    case Op::SUBSI: {
+      const uint64_t a = read_gpr_or_sp(inst.rn);
+      const uint64_t b = static_cast<uint64_t>(inst.imm);
+      const uint64_t r = a - b;
+      set_sub_flags(a, b, r);
+      set_x(inst.rd, r);
+      break;
+    }
+    case Op::ANDI:
+      set_x(inst.rd, x(inst.rn) & static_cast<uint64_t>(inst.imm));
+      break;
+    case Op::ORRI:
+      set_x(inst.rd, x(inst.rn) | static_cast<uint64_t>(inst.imm));
+      break;
+    case Op::EORI:
+      set_x(inst.rd, x(inst.rn) ^ static_cast<uint64_t>(inst.imm));
+      break;
+
+    // ---- shifts / bitfields ----
+    case Op::LSLI:
+      set_x(inst.rd, x(inst.rn) << inst.imm);
+      break;
+    case Op::LSRI:
+      set_x(inst.rd, x(inst.rn) >> inst.imm);
+      break;
+    case Op::ASRI:
+      set_x(inst.rd,
+            static_cast<uint64_t>(static_cast<int64_t>(x(inst.rn)) >> inst.imm));
+      break;
+    case Op::BFI:
+      set_x(inst.rd, insert_bits(x(inst.rd), inst.lsb, inst.width, x(inst.rn)));
+      break;
+    case Op::UBFX:
+      set_x(inst.rd, bits(x(inst.rn), inst.lsb, inst.width));
+      break;
+
+    case Op::ADR:
+      set_x(inst.rd, iaddr + static_cast<uint64_t>(inst.imm));
+      break;
+
+    // ---- loads / stores ----
+    case Op::LDR: {
+      uint64_t v;
+      if (mem_read64(read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm), v))
+        set_x(inst.rd, v);
+      break;
+    }
+    case Op::STR:
+      mem_write64(read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm),
+                  x(inst.rd));
+      break;
+    case Op::LDRB: {
+      uint64_t v;
+      if (mem_read8(read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm), v))
+        set_x(inst.rd, v);
+      break;
+    }
+    case Op::STRB:
+      mem_write8(read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm),
+                 static_cast<uint8_t>(x(inst.rd)));
+      break;
+
+    case Op::LDP: {
+      const uint64_t base =
+          read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
+      uint64_t a, b;
+      if (mem_read64(base, a) && mem_read64(base + 8, b)) {
+        set_x(inst.rd, a);
+        set_x(inst.rm, b);
+      }
+      break;
+    }
+    case Op::STP: {
+      const uint64_t base =
+          read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
+      if (mem_write64(base, x(inst.rd))) mem_write64(base + 8, x(inst.rm));
+      break;
+    }
+    case Op::STP_PRE: {
+      const uint64_t base =
+          read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
+      if (mem_write64(base, x(inst.rd)) && mem_write64(base + 8, x(inst.rm)))
+        write_gpr_or_sp(inst.rn, base);
+      break;
+    }
+    case Op::LDP_POST: {
+      const uint64_t base = read_gpr_or_sp(inst.rn);
+      uint64_t a, b;
+      if (mem_read64(base, a) && mem_read64(base + 8, b)) {
+        set_x(inst.rd, a);
+        set_x(inst.rm, b);
+        write_gpr_or_sp(inst.rn, base + static_cast<uint64_t>(inst.imm));
+      }
+      break;
+    }
+
+    // ---- branches ----
+    case Op::B:
+      pc = iaddr + static_cast<uint64_t>(inst.imm);
+      break;
+    case Op::BL:
+      set_x(isa::kRegLr, iaddr + 4);
+      pc = iaddr + static_cast<uint64_t>(inst.imm);
+      break;
+    case Op::BCOND:
+      if (cond_holds(inst.cond, pstate))
+        pc = iaddr + static_cast<uint64_t>(inst.imm);
+      break;
+    case Op::CBZ:
+      if (x(inst.rd) == 0) pc = iaddr + static_cast<uint64_t>(inst.imm);
+      break;
+    case Op::CBNZ:
+      if (x(inst.rd) != 0) pc = iaddr + static_cast<uint64_t>(inst.imm);
+      break;
+    case Op::BR:
+      pc = x(inst.rn);
+      break;
+    case Op::BLR:
+      set_x(isa::kRegLr, iaddr + 4);
+      pc = x(inst.rn);
+      break;
+    case Op::RET:
+      // The assembler always encodes the target register explicitly (LR for
+      // a plain `ret`).
+      pc = x(inst.rn);
+      break;
+
+    // ---- PAuth combined branches ----
+    case Op::BRAA:
+    case Op::BRAB:
+    case Op::BLRAA:
+    case Op::BLRAB: {
+      if (!cfg_.has_pauth) {
+        undefined();
+        break;
+      }
+      const bool b_key = inst.op == Op::BRAB || inst.op == Op::BLRAB;
+      const bool link = inst.op == Op::BLRAA || inst.op == Op::BLRAB;
+      const uint64_t modifier = read_gpr_or_sp(inst.rm);
+      bool faulted;
+      const uint64_t target = do_aut(x(inst.rn), modifier,
+                                     b_key ? PacKey::IB : PacKey::IA, inst.op,
+                                     faulted);
+      if (faulted) break;
+      if (link) set_x(isa::kRegLr, iaddr + 4);
+      pc = target;
+      break;
+    }
+    case Op::RETAA:
+    case Op::RETAB: {
+      if (!cfg_.has_pauth) {
+        undefined();
+        break;
+      }
+      bool faulted;
+      const uint64_t target =
+          do_aut(x(isa::kRegLr), sp(),
+                 inst.op == Op::RETAB ? PacKey::IB : PacKey::IA, inst.op,
+                 faulted);
+      if (!faulted) pc = target;
+      break;
+    }
+
+    // ---- system ----
+    case Op::MRS: {
+      // CNTVCT is readable from EL0 (Linux exposes the counter); everything
+      // else requires EL1.
+      if (pstate.el == El::El0 && inst.sysreg != SysReg::CNTVCT_EL0) {
+        undefined();
+        break;
+      }
+      set_x(inst.rd, sysreg(inst.sysreg));
+      break;
+    }
+    case Op::MSR: {
+      if (!require_el1()) break;
+      if (inst.sysreg == SysReg::CurrentEL ||
+          inst.sysreg == SysReg::CNTVCT_EL0) {
+        undefined();
+        break;
+      }
+      const uint64_t v = x(inst.rd);
+      if (msr_filter_ && !msr_filter_(*this, inst.sysreg, v)) {
+        undefined();  // hypervisor-locked register (threat model §3.1)
+        break;
+      }
+      set_sysreg(inst.sysreg, v);
+      break;
+    }
+    case Op::SVC:
+      take_exception(ExcClass::Svc, 0, static_cast<uint16_t>(inst.imm),
+                     FaultKind::None, iaddr + 4);
+      break;
+    case Op::HVC:
+      if (!require_el1()) break;
+      if (hvc_)
+        hvc_(*this, static_cast<uint16_t>(inst.imm));
+      else
+        undefined();
+      break;
+    case Op::BRK:
+      take_exception(ExcClass::Brk, 0, static_cast<uint16_t>(inst.imm),
+                     FaultKind::None, iaddr);
+      break;
+    case Op::HLT:
+      if (!require_el1()) break;
+      halted_ = true;
+      halt_code_ = static_cast<uint64_t>(inst.imm);
+      break;
+    case Op::ERET:
+      if (!require_el1()) break;
+      do_eret();
+      break;
+    case Op::DAIFSET:
+      if (!require_el1()) break;
+      pstate.irq_masked = true;
+      break;
+    case Op::DAIFCLR:
+      if (!require_el1()) break;
+      pstate.irq_masked = false;
+      break;
+    case Op::ISB:
+    case Op::NOP:
+      break;
+
+    // ---- PAuth sign / authenticate ----
+    case Op::PACIA:
+    case Op::PACIB:
+    case Op::PACDA:
+    case Op::PACDB: {
+      if (!cfg_.has_pauth) {
+        undefined();
+        break;
+      }
+      static constexpr PacKey keys[] = {PacKey::IA, PacKey::IB, PacKey::DA,
+                                        PacKey::DB};
+      const PacKey k =
+          keys[static_cast<int>(inst.op) - static_cast<int>(Op::PACIA)];
+      set_x(inst.rd, do_pac(x(inst.rd), read_gpr_or_sp(inst.rn), k));
+      break;
+    }
+    case Op::AUTIA:
+    case Op::AUTIB:
+    case Op::AUTDA:
+    case Op::AUTDB: {
+      if (!cfg_.has_pauth) {
+        undefined();
+        break;
+      }
+      static constexpr PacKey keys[] = {PacKey::IA, PacKey::IB, PacKey::DA,
+                                        PacKey::DB};
+      const PacKey k =
+          keys[static_cast<int>(inst.op) - static_cast<int>(Op::AUTIA)];
+      bool faulted;
+      const uint64_t v =
+          do_aut(x(inst.rd), read_gpr_or_sp(inst.rn), k, inst.op, faulted);
+      if (!faulted) set_x(inst.rd, v);
+      break;
+    }
+    case Op::PACGA:
+      if (!cfg_.has_pauth) {
+        undefined();
+        break;
+      }
+      set_x(inst.rd, pauth_.pacga(x(inst.rn), x(inst.rm), pac_key(PacKey::GA)));
+      break;
+    case Op::XPACI:
+    case Op::XPACD:
+      if (!cfg_.has_pauth) {
+        undefined();
+        break;
+      }
+      set_x(inst.rd, pauth_.strip(x(inst.rd)));
+      break;
+
+    // ---- HINT-space PAuth: NOP on pre-8.3 cores (§5.5) ----
+    case Op::PACIASP:
+      if (cfg_.has_pauth)
+        set_x(isa::kRegLr, do_pac(x(isa::kRegLr), sp(), PacKey::IA));
+      break;
+    case Op::PACIBSP:
+      if (cfg_.has_pauth)
+        set_x(isa::kRegLr, do_pac(x(isa::kRegLr), sp(), PacKey::IB));
+      break;
+    case Op::AUTIASP:
+    case Op::AUTIBSP: {
+      if (!cfg_.has_pauth) break;
+      bool faulted;
+      const uint64_t v =
+          do_aut(x(isa::kRegLr), sp(),
+                 inst.op == Op::AUTIBSP ? PacKey::IB : PacKey::IA, inst.op,
+                 faulted);
+      if (!faulted) set_x(isa::kRegLr, v);
+      break;
+    }
+    case Op::PACIA1716:
+    case Op::PACIB1716:
+      if (cfg_.has_pauth)
+        set_x(isa::kRegIp1,
+              do_pac(x(isa::kRegIp1), x(isa::kRegIp0),
+                     inst.op == Op::PACIB1716 ? PacKey::IB : PacKey::IA));
+      break;
+    case Op::AUTIA1716:
+    case Op::AUTIB1716: {
+      if (!cfg_.has_pauth) break;
+      bool faulted;
+      const uint64_t v =
+          do_aut(x(isa::kRegIp1), x(isa::kRegIp0),
+                 inst.op == Op::AUTIB1716 ? PacKey::IB : PacKey::IA, inst.op,
+                 faulted);
+      if (!faulted) set_x(isa::kRegIp1, v);
+      break;
+    }
+    case Op::XPACLRI:
+      if (cfg_.has_pauth) set_x(isa::kRegLr, pauth_.strip(x(isa::kRegLr)));
+      break;
+
+    case Op::kCount:
+      undefined();
+      break;
+  }
+}
+
+}  // namespace camo::cpu

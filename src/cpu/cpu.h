@@ -1,0 +1,222 @@
+// The simulated CPU core.
+//
+// Executes the ISA of isa/isa.h with AArch64 semantics: 31 GPRs, banked
+// stack pointers per EL, NZCV flags, EL0/EL1 exception model, the full PAuth
+// instruction family, and a deterministic cycle model (the paper's
+// "PA-analogue" costing: 4 cycles per PAuth instruction, §6.1).
+//
+// Host integration points:
+//  * HVC lands in a host-installed handler (the EL2 hypervisor is host code).
+//  * MSR writes at EL1 pass through a host-installed filter so the hypervisor
+//    can lock MMU control registers (threat model §3.1).
+//  * Breakpoint hooks fire before executing the instruction at a VA — the
+//    attack framework uses them to corrupt state mid-execution.
+//  * A PAC-failure observer sees every failed AUT* (for logging/benches; the
+//    guest kernel independently detects failures via the resulting faults).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/pauth.h"
+#include "isa/isa.h"
+#include "mem/mmu.h"
+
+namespace camo::cpu {
+
+/// Saved/current processor state flags.
+struct Pstate {
+  mem::El el = mem::El::El1;
+  bool irq_masked = true;
+  bool n = false, z = false, c = false, v = false;
+};
+
+/// Exception classes (our simplified ESR encoding; see Cpu::esr_*).
+enum class ExcClass : uint8_t {
+  Unknown = 0,
+  Svc,          ///< SVC from EL0 (or EL1)
+  Brk,          ///< BRK instruction
+  InsnAbort,    ///< instruction fetch fault
+  DataAbort,    ///< data access fault
+  Undefined,    ///< undefined/denied instruction
+  PacFail,      ///< FPAC-style immediate authentication failure
+  Irq,          ///< asynchronous interrupt (pseudo-class for vectoring)
+};
+
+const char* exc_class_name(ExcClass c);
+
+class Cpu {
+ public:
+  struct Config {
+    bool has_pauth = true;  ///< ARMv8.3 core; false = pre-8.3 (hint ops NOP)
+    bool fpac = false;      ///< fault immediately on AUT* failure (v8.6 ext.)
+    /// Experimental ISA extension prototyping the paper's §8 proposal:
+    /// a second, EL2-managed bank of PAuth keys that EL1 execution uses
+    /// automatically. The kernel keys then never exist in EL1-accessible
+    /// state — no XOM, no per-transition key switching, and MRS of the key
+    /// registers only ever reveals the EL0 (user) keys.
+    bool banked_keys = false;
+    mem::VaLayout layout{};
+    bool enable_cycle_model = true;
+  };
+
+  Cpu(mem::Mmu& mmu, Config cfg);
+
+  // ---- Registers --------------------------------------------------------
+  uint64_t x(unsigned i) const;          ///< X0..X30; 31 reads as 0 (XZR)
+  void set_x(unsigned i, uint64_t v);    ///< writes to 31 are discarded
+  uint64_t sp() const;                   ///< current EL's stack pointer
+  void set_sp(uint64_t v);
+  uint64_t sp_el(mem::El el) const;
+  void set_sp_el(mem::El el, uint64_t v);
+
+  uint64_t pc = 0;
+  Pstate pstate;
+
+  /// Host-side system register access (never trapped or filtered).
+  uint64_t sysreg(isa::SysReg r) const;
+  void set_sysreg(isa::SysReg r, uint64_t v);
+
+  /// The 128-bit PAuth key `k` as seen by execution at the current EL:
+  /// with banked_keys, EL1 uses the EL2-managed kernel bank, EL0 the
+  /// ordinary key registers; otherwise always the key registers.
+  qarma::Key128 pac_key(PacKey k) const;
+
+  /// EL2/host-only: install a key into the kernel bank (banked_keys mode).
+  /// There is deliberately no guest instruction that reads or writes the
+  /// bank — that is the point of the §8 extension.
+  void set_kernel_bank_key(PacKey k, const qarma::Key128& key);
+
+  const PauthUnit& pauth() const { return pauth_; }
+  mem::Mmu& mmu() { return *mmu_; }
+  const Config& config() const { return cfg_; }
+
+  // ---- Execution --------------------------------------------------------
+  /// Execute one instruction (or take a pending interrupt). Returns false
+  /// once the CPU has halted.
+  bool step();
+  /// Run until halted or `max_steps` instructions executed. Returns the
+  /// number of instructions executed.
+  uint64_t run(uint64_t max_steps);
+
+  bool halted() const { return halted_; }
+  uint64_t halt_code() const { return halt_code_; }
+  void clear_halt() { halted_ = false; }
+
+  uint64_t cycles() const { return cycles_; }
+  uint64_t instret() const { return instret_; }
+
+  /// Retired-instruction histogram by opcode (always maintained; drives the
+  /// instruction-mix analysis of §6.1.3's "high rate of function calls").
+  uint64_t op_count(isa::Op op) const {
+    return op_counts_[static_cast<size_t>(op)];
+  }
+  /// Total retired instructions for which `pred` holds.
+  template <typename Pred>
+  uint64_t count_ops_if(Pred pred) const {
+    uint64_t n = 0;
+    for (size_t i = 0; i < op_counts_.size(); ++i)
+      if (pred(static_cast<isa::Op>(i))) n += op_counts_[i];
+    return n;
+  }
+  void reset_op_counts() { op_counts_.fill(0); }
+
+  // ---- Interrupts -------------------------------------------------------
+  /// Arm the countdown timer: an IRQ is delivered after `cycles` more cycles
+  /// (0 disables).
+  void set_timer(uint64_t cycles);
+  /// Periodic timer: re-arms itself every `cycles` (0 disables). Drives
+  /// preemptive scheduling.
+  void set_timer_period(uint64_t cycles);
+  void raise_irq() { irq_pending_ = true; }
+
+  // ---- Host hooks -------------------------------------------------------
+  using Hook = std::function<void(Cpu&)>;
+  void add_breakpoint(uint64_t va, Hook hook);
+  void clear_breakpoints() { breakpoints_.clear(); }
+
+  using HvcHandler = std::function<void(Cpu&, uint16_t imm)>;
+  void set_hvc_handler(HvcHandler h) { hvc_ = std::move(h); }
+
+  /// Approves or denies EL1 MSR writes; return false to deny (the write
+  /// becomes an Undefined exception). Installed by the hypervisor.
+  using MsrFilter = std::function<bool(Cpu&, isa::SysReg, uint64_t)>;
+  void set_msr_filter(MsrFilter f) { msr_filter_ = std::move(f); }
+
+  using PacFailureObserver =
+      std::function<void(Cpu&, isa::Op op, uint64_t ptr)>;
+  void set_pac_failure_observer(PacFailureObserver o) {
+    pac_observer_ = std::move(o);
+  }
+
+  /// Per-instruction trace callback (disassembly-level debugging).
+  using TraceFn = std::function<void(const Cpu&, uint64_t pc, const isa::Inst&)>;
+  void set_trace(TraceFn t) { trace_ = std::move(t); }
+
+  // ---- Our simplified ESR encoding --------------------------------------
+  static uint64_t esr_pack(ExcClass cls, uint16_t iss, mem::FaultKind fk);
+  static ExcClass esr_class(uint64_t esr);
+  static uint16_t esr_iss(uint64_t esr);
+  static mem::FaultKind esr_fault(uint64_t esr);
+
+  /// Cycle cost of one instruction under the PA-analogue model.
+  static unsigned cycle_cost(const isa::Inst& inst);
+
+  // Vector table offsets from VBAR_EL1.
+  static constexpr uint64_t kVecSyncEl1 = 0x000;
+  static constexpr uint64_t kVecIrqEl1 = 0x080;
+  static constexpr uint64_t kVecSyncEl0 = 0x100;
+  static constexpr uint64_t kVecIrqEl0 = 0x180;
+
+ private:
+  void execute(const isa::Inst& inst);
+  void take_exception(ExcClass cls, uint64_t far, uint16_t iss,
+                      mem::FaultKind fk, uint64_t preferred_return);
+  void do_eret();
+
+  uint64_t read_gpr_or_sp(unsigned i) const;
+  void write_gpr_or_sp(unsigned i, uint64_t v);
+
+  /// Data memory access helpers that take the DataAbort on fault. Return
+  /// false when a fault was taken (caller must stop the instruction).
+  bool mem_read64(uint64_t va, uint64_t& out);
+  bool mem_write64(uint64_t va, uint64_t v);
+  bool mem_read8(uint64_t va, uint64_t& out);
+  bool mem_write8(uint64_t va, uint8_t v);
+
+  /// PAuth helpers reading keys/SCTLR from the live system registers.
+  bool pauth_enabled(PacKey k) const;
+  uint64_t do_pac(uint64_t ptr, uint64_t modifier, PacKey k);
+  uint64_t do_aut(uint64_t ptr, uint64_t modifier, PacKey k, isa::Op op,
+                  bool& fault_taken);
+
+  mem::Mmu* mmu_;
+  Config cfg_;
+  PauthUnit pauth_;
+
+  std::array<uint64_t, 31> gpr_{};
+  uint64_t sp_el0_ = 0, sp_el1_ = 0;
+  std::array<uint64_t, static_cast<size_t>(isa::SysReg::kCount)> sys_{};
+  std::array<qarma::Key128, 5> kernel_bank_{};  // banked_keys mode only
+
+  bool halted_ = false;
+  uint64_t halt_code_ = 0;
+  uint64_t cycles_ = 0;
+  uint64_t instret_ = 0;
+  std::array<uint64_t, static_cast<size_t>(isa::Op::kCount)> op_counts_{};
+
+  bool irq_pending_ = false;
+  uint64_t timer_cycles_ = 0;  // 0 = disarmed; else absolute cycle deadline
+  uint64_t timer_period_ = 0;  // 0 = one-shot; else re-arm interval
+
+  std::unordered_map<uint64_t, std::vector<Hook>> breakpoints_;
+  HvcHandler hvc_;
+  MsrFilter msr_filter_;
+  PacFailureObserver pac_observer_;
+  TraceFn trace_;
+};
+
+}  // namespace camo::cpu

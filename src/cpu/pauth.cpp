@@ -1,0 +1,74 @@
+#include "cpu/pauth.h"
+
+#include "support/bits.h"
+
+namespace camo::cpu {
+
+const char* pac_key_name(PacKey k) {
+  switch (k) {
+    case PacKey::IA: return "IA";
+    case PacKey::IB: return "IB";
+    case PacKey::DA: return "DA";
+    case PacKey::DB: return "DB";
+    case PacKey::GA: return "GA";
+  }
+  return "<bad-key>";
+}
+
+namespace {
+
+/// Scatter the low bits of `pac` into the set positions of `maskbits`.
+uint64_t scatter(uint64_t pac, uint64_t maskbits) {
+  uint64_t out = 0;
+  unsigned src = 0;
+  for (unsigned pos = 0; pos < 64; ++pos) {
+    if (maskbits & (uint64_t{1} << pos)) {
+      out |= ((pac >> src) & 1) << pos;
+      ++src;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t PauthUnit::pac_field(uint64_t ptr, uint64_t modifier,
+                              const qarma::Key128& key) const {
+  // The MAC input is the pointer in canonical form, so signing is a pure
+  // function of (address, modifier, key) regardless of what was previously
+  // in the extension bits.
+  const uint64_t input = layout_.canonical(ptr);
+  const uint64_t mac = qarma::compute_pac_cipher(input, modifier, key);
+  return scatter(mac, layout_.pac_mask(ptr));
+}
+
+uint64_t PauthUnit::add_pac(uint64_t ptr, uint64_t modifier,
+                            const qarma::Key128& key) const {
+  const uint64_t m = layout_.pac_mask(ptr);
+  return (layout_.canonical(ptr) & ~m) | pac_field(ptr, modifier, key);
+}
+
+PauthUnit::AuthResult PauthUnit::auth(uint64_t ptr, uint64_t modifier,
+                                      const qarma::Key128& key,
+                                      PacKey key_id) const {
+  const uint64_t m = layout_.pac_mask(ptr);
+  const uint64_t expected = pac_field(ptr, modifier, key);
+  if ((ptr & m) == expected) return {layout_.canonical(ptr), true};
+
+  // Poison: XOR an error code into the two highest PAC-field bits. The
+  // extension was all-ones (kernel) or all-zeroes (user); a nonzero XOR in
+  // those positions guarantees the result is non-canonical and the code
+  // identifies which key family failed (diagnostics, mirrors AArch64).
+  const uint64_t code = is_b_key(key_id) ? 0b10 : 0b01;
+  const unsigned top = layout_.tbi(ptr) ? 54 : 62;
+  const uint64_t poison = code << (top - 1);
+  return {layout_.canonical(ptr) ^ poison, false};
+}
+
+uint64_t PauthUnit::pacga(uint64_t value, uint64_t modifier,
+                          const qarma::Key128& key) const {
+  const uint64_t mac = qarma::compute_pac_cipher(value, modifier, key);
+  return mac & 0xFFFFFFFF00000000ULL;
+}
+
+}  // namespace camo::cpu

@@ -1,0 +1,186 @@
+#include "hyp/hypervisor.h"
+
+#include <memory>
+
+#include "support/bits.h"
+#include "support/error.h"
+
+namespace camo::hyp {
+
+using mem::PagePerms;
+using mem::Stage2Map;
+using mem::VaLayout;
+
+Hypervisor::Hypervisor(mem::PhysicalMemory& phys, mem::Mmu& mmu)
+    : phys_(&phys), mmu_(&mmu) {
+  mmu_->set_kernel_map(&kernel_map_);
+  mmu_->set_stage2(&stage2_);
+}
+
+uint64_t Hypervisor::alloc_pages(uint64_t count) {
+  const uint64_t pa = next_free_pa_;
+  const uint64_t len = count * VaLayout::kPageSize;
+  if (pa + len > phys_->size()) fail("hypervisor: out of physical memory");
+  next_free_pa_ += len;
+  return pa;
+}
+
+int Hypervisor::create_user_space() {
+  user_spaces_.push_back(std::make_unique<mem::Stage1Map>());
+  return static_cast<int>(user_spaces_.size()) - 1;
+}
+
+mem::Stage1Map& Hypervisor::user_space(int id) {
+  if (id < 0 || static_cast<size_t>(id) >= user_spaces_.size())
+    fail("hypervisor: bad address-space id");
+  return *user_spaces_[static_cast<size_t>(id)];
+}
+
+void Hypervisor::switch_user_space(int id) {
+  mmu_->set_user_map(&user_space(id));
+  active_user_ = id;
+}
+
+void Hypervisor::load_image(const obj::Image& image, mem::Stage1Map& map,
+                            bool user) {
+  for (const auto& seg : image.segments) {
+    const uint64_t va = align_down(seg.va, VaLayout::kPageSize);
+    const uint64_t len =
+        align_up(seg.va + seg.bytes.size(), VaLayout::kPageSize) - va;
+    const uint64_t pa = alloc_pages(len / VaLayout::kPageSize);
+    phys_->fill(pa, 0, len);
+    phys_->write_block(pa + (seg.va - va), seg.bytes.data(), seg.bytes.size());
+
+    PagePerms perms;
+    switch (seg.kind) {
+      case obj::SectionKind::Text:
+        perms = user ? PagePerms::user_text() : PagePerms::kernel_text();
+        break;
+      case obj::SectionKind::RoData:
+        perms = user ? PagePerms::user_ro() : PagePerms::kernel_ro();
+        break;
+      case obj::SectionKind::Data:
+      case obj::SectionKind::Bss:
+        perms = user ? PagePerms::user_rw() : PagePerms::kernel_rw();
+        break;
+    }
+    map.map_range(va, pa, len, perms);
+
+    // Realize the threat model: kernel text and rodata are write-protected
+    // below EL2, so the attacker's write primitive cannot touch them.
+    if (!user && (seg.kind == obj::SectionKind::Text ||
+                  seg.kind == obj::SectionKind::RoData))
+      stage2_.restrict_range(pa, len, Stage2Map::read_only());
+  }
+}
+
+void Hypervisor::map_kernel_rw(uint64_t va, uint64_t len) {
+  len = align_up(len, VaLayout::kPageSize);
+  const uint64_t pa = alloc_pages(len / VaLayout::kPageSize);
+  phys_->fill(pa, 0, len);
+  kernel_map_.map_range(va, pa, len, PagePerms::kernel_rw());
+}
+
+void Hypervisor::map_user_rw(int space, uint64_t va, uint64_t len) {
+  len = align_up(len, VaLayout::kPageSize);
+  const uint64_t pa = alloc_pages(len / VaLayout::kPageSize);
+  phys_->fill(pa, 0, len);
+  user_space(space).map_range(va, pa, len, PagePerms::user_rw());
+}
+
+void Hypervisor::protect_xom(uint64_t va, uint64_t len) {
+  for (uint64_t off = 0; off < len; off += VaLayout::kPageSize) {
+    const auto t =
+        mmu_->translate(va + off, mem::Access::Fetch, mem::El::El2);
+    if (!t.ok()) fail("protect_xom: page not mapped executable");
+    stage2_.restrict_page(t.pa, Stage2Map::xom());
+  }
+}
+
+void Hypervisor::install(cpu::Cpu& cpu) {
+  cpu.set_hvc_handler(
+      [this](cpu::Cpu& c, uint16_t imm) { handle_hvc(c, imm); });
+  cpu.set_msr_filter([this](cpu::Cpu& c, isa::SysReg r, uint64_t v) {
+    return filter_msr(c, r, v);
+  });
+}
+
+bool Hypervisor::filter_msr(cpu::Cpu&, isa::SysReg reg, uint64_t) {
+  using isa::SysReg;
+  // Translation control is never EL1-writable: the paper's threat model has
+  // the hypervisor lock MMU system registers outright.
+  if (reg == SysReg::TTBR0_EL1 || reg == SysReg::TTBR1_EL1) {
+    ++denied_msr_;
+    return false;
+  }
+  // SCTLR/VBAR are writable during early boot only; Lockdown freezes them.
+  if (locked_ && (reg == SysReg::SCTLR_EL1 || reg == SysReg::VBAR_EL1)) {
+    ++denied_msr_;
+    return false;
+  }
+  return true;
+}
+
+void Hypervisor::handle_hvc(cpu::Cpu& cpu, uint16_t imm) {
+  switch (static_cast<HvcCall>(imm)) {
+    case HvcCall::ConsolePutc:
+      console_.push_back(static_cast<char>(cpu.x(0)));
+      break;
+    case HvcCall::ConsoleWrite: {
+      const uint64_t va = cpu.x(0);
+      const uint64_t len = cpu.x(1);
+      for (uint64_t i = 0; i < len && i < 4096; ++i) {
+        const auto r = mmu_->read8(va + i, mem::El::El2);
+        if (r.fault != mem::FaultKind::None) break;
+        console_.push_back(static_cast<char>(r.value));
+      }
+      break;
+    }
+    case HvcCall::SwitchUserSpace:
+      switch_user_space(static_cast<int>(cpu.x(0)));
+      break;
+    case HvcCall::LoadModule:
+      do_load_module(cpu);
+      break;
+    case HvcCall::Lockdown:
+      lockdown();
+      break;
+    default:
+      fail("hypervisor: unknown HVC #" + std::to_string(imm));
+  }
+}
+
+int Hypervisor::register_module(std::string name, obj::Program program) {
+  modules_.push_back({std::move(name), std::move(program)});
+  return static_cast<int>(modules_.size()) - 1;
+}
+
+void Hypervisor::do_load_module(cpu::Cpu& cpu) {
+  const auto id = cpu.x(0);
+  if (id >= modules_.size()) {
+    cpu.set_x(0, 0);
+    return;
+  }
+  auto& mod = modules_[id];
+
+  const uint64_t base = next_module_va_;
+  obj::Image image = obj::Linker::link(mod.program, base, kernel_exports_);
+  next_module_va_ = align_up(image.end_va(), 0x100000);  // 1 MiB module slots
+
+  // §4.1: scan the module for key reads / SCTLR tampering before mapping.
+  last_verify_ = verifier_.verify_image(image);
+  if (!last_verify_->ok()) {
+    cpu.set_x(0, 0);
+    return;
+  }
+
+  load_image(image, kernel_map_, /*user=*/false);
+  loaded_.push_back({mod.name, image});
+
+  const std::string init_sym = mod.name + "_init";
+  cpu.set_x(0, image.has_symbol(init_sym) ? image.symbol(init_sym) : 0);
+  cpu.set_x(1, image.pauth_table_va);
+  cpu.set_x(2, image.pauth_table_count);
+}
+
+}  // namespace camo::hyp

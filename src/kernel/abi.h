@@ -1,0 +1,151 @@
+// Guest kernel ABI: structure layouts, syscall numbers, halt codes and the
+// 16-bit pointer type·member constants (§4.3) shared between the kernel
+// generator (host) and anything that inspects guest state (benches, attacks,
+// tests).
+#pragma once
+
+#include <cstdint>
+
+namespace camo::kernel {
+
+// ---------------------------------------------------------------------------
+// Kernel virtual memory layout
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kKernelBase = 0xFFFF000000080000ull;
+inline constexpr uint64_t kBootStackTop = 0xFFFF000000060000ull;
+inline constexpr uint64_t kUserBase = 0x0000000000400000ull;
+
+// ---------------------------------------------------------------------------
+// Task structure (stride kTaskSize, array symbol "task_array")
+//
+// One kernel task per user thread (1:1 threading model, §2.3). The saved
+// kernel SP of a scheduled-out task is PAuth-signed with the pointer
+// integrity scheme (§5.2, cpu_switch_to).
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kTaskSize = 0x100;
+inline constexpr unsigned kMaxTasks = 34;  ///< including the swapper (task 0)
+
+namespace task {
+inline constexpr uint16_t kKsp = 0x00;       ///< signed saved kernel SP
+inline constexpr uint16_t kPid = 0x08;
+inline constexpr uint16_t kState = 0x10;
+inline constexpr uint16_t kSpace = 0x18;     ///< user address-space id
+inline constexpr uint16_t kUserPc = 0x20;    ///< initial EL0 entry
+inline constexpr uint16_t kUserSp = 0x28;
+inline constexpr uint16_t kSavedSpEl0 = 0x30;
+inline constexpr uint16_t kSyscalls = 0x38;  ///< per-task syscall counter
+inline constexpr uint16_t kKstackTop = 0x40;
+inline constexpr uint16_t kUserKeys = 0x48;  ///< 10 u64: IA,IB,DA,DB,GA lo/hi
+}  // namespace task
+
+enum class TaskState : uint64_t {
+  Free = 0,
+  New = 1,       ///< never run; cpu_switch_to takes the first-run path
+  Runnable = 2,
+  Current = 3,
+  Dead = 4,
+};
+
+/// Swapper "address space" sentinel (never matches a real space id).
+inline constexpr uint64_t kSwapperSpace = 0xFFFF;
+
+// ---------------------------------------------------------------------------
+// Kernel stacks: 16 KiB per task (§4.2), 4 KiB aligned. Slots are 64 KiB
+// apart so the stack tops of different tasks coincide modulo 2^16 — the
+// layout that makes the PARTS modifier replayable across threads (§7) and
+// that Camouflage's 32-bit SP window resists.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kKernelStackSize = 0x4000;
+inline constexpr uint64_t kKernelStackStride = 0x10000;
+
+// ---------------------------------------------------------------------------
+// struct file (stride kFileSize, array "file_table", kMaxFiles entries)
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kFileSize = 0x20;
+inline constexpr unsigned kMaxFiles = 16;
+
+namespace file {
+inline constexpr uint16_t kFops = 0x00;  ///< signed f_ops pointer (§4.5)
+inline constexpr uint16_t kKind = 0x08;
+inline constexpr uint16_t kPos = 0x10;
+inline constexpr uint16_t kInUse = 0x18;
+}  // namespace file
+
+/// file kinds (index into the fops_by_kind table)
+enum class FileKind : uint64_t { Null = 0, Ram = 1, Console = 2 };
+
+/// struct file_operations layout (.rodata, unsigned — read-only ops tables
+/// need no PAuth, §4.4)
+namespace fops {
+inline constexpr uint16_t kRead = 0x00;
+inline constexpr uint16_t kWrite = 0x08;
+}  // namespace fops
+
+// ---------------------------------------------------------------------------
+// Pointer type·member constants (the 16-bit modifier halves of §4.3).
+// kTypeFileFops deliberately matches the paper's Listing 4 (0xfb45).
+// ---------------------------------------------------------------------------
+
+inline constexpr uint16_t kTypeFileFops = 0xFB45;  ///< file.f_ops (DB key)
+inline constexpr uint16_t kTypeTaskSp = 0x7A5B;    ///< task.ksp (DB key)
+inline constexpr uint16_t kTypeWorkFunc = 0x30C4;  ///< work_struct.func (IB)
+inline constexpr uint16_t kTypeHook = 0x51D7;      ///< lone hook pointer (IB)
+
+// ---------------------------------------------------------------------------
+// Syscalls (number in x8, args x0..x2, result x0)
+// ---------------------------------------------------------------------------
+
+enum class Sys : uint16_t {
+  GetPid = 0,
+  Write = 1,       ///< (fd, buf, len)
+  Read = 2,        ///< (fd, buf, len)
+  Open = 3,        ///< (kind) -> fd
+  Close = 4,       ///< (fd)
+  Yield = 5,
+  Exit = 6,
+  Stat = 7,        ///< (fd, buf) writes 4 u64
+  QueueWork = 8,   ///< run the DECLARE_WORK-initialised static work (§4.6)
+  CallHook = 9,    ///< invoke the writable hook pointer (§4.4)
+  InitModule = 10, ///< (module id)
+  RegisterHook = 11,  ///< (registry index)
+  GetJiffies = 12,
+  kCount,
+};
+
+inline constexpr int64_t kEInval = -22;  ///< bad argument
+inline constexpr int64_t kEPerm = -1;    ///< rejected (module verification)
+
+// ---------------------------------------------------------------------------
+// Halt codes (HLT immediate): how a run terminates.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint16_t kHaltDone = 0x00D0;      ///< all user tasks exited
+inline constexpr uint16_t kHaltOops = 0x00B0;      ///< unhandled kernel fault
+inline constexpr uint16_t kHaltPacPanic = 0x00AC;  ///< §5.4 threshold reached
+/// The attack framework's "privilege escalation reached" marker: the gadget
+/// function (never legitimately called) halts with this code.
+inline constexpr uint16_t kHaltPwned = 0x0666;
+
+// ---------------------------------------------------------------------------
+// Exported guest symbols the host reads via the image symbol table.
+// ---------------------------------------------------------------------------
+
+inline constexpr const char* kSymTaskArray = "task_array";
+inline constexpr const char* kSymFileTable = "file_table";
+inline constexpr const char* kSymPacFailCount = "pac_fail_count";
+inline constexpr const char* kSymJiffies = "jiffies";
+inline constexpr const char* kSymWorkCounter = "work_counter";
+inline constexpr const char* kSymHookCounter = "hook_counter";
+inline constexpr const char* kSymHookObj = "hook_obj";
+inline constexpr const char* kSymStaticWork = "static_work";
+inline constexpr const char* kSymKernelStacks = "kernel_stacks";
+inline constexpr const char* kSymRamfsData = "ramfs_data";
+inline constexpr const char* kSymCpuSwitchTo = "cpu_switch_to";
+inline constexpr const char* kSymPwnedFlag = "pwned_flag";
+inline constexpr const char* kSymGadget = "gadget_escalate";
+
+}  // namespace camo::kernel

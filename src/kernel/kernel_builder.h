@@ -1,0 +1,79 @@
+// Generator for the guest kernel image.
+//
+// The kernel is real guest code: exception vectors, entry stubs that switch
+// PAuth keys on every EL0↔EL1 transition (§3.3.1), a round-robin scheduler
+// whose cpu_switch_to signs the switched-out task's kernel SP (§5.2), a file
+// layer with read-only operations tables reached through PAuth-protected
+// f_ops pointers (§4.5, Listing 4), a workqueue whose statically initialised
+// work item is signed at boot by walking the .pauth_init table (§4.6), a
+// writable "lone" hook pointer (§4.4), loadable-module support (verified by
+// the hypervisor, §4.1), and the §5.4 brute-force panic policy.
+//
+// KernelBuilder emits the whole kernel as an obj::Program; the bootloader
+// instruments and links it, so every CFI sequence executed at run time is the
+// output of the real instrumentation passes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compiler/instrument.h"
+#include "kernel/abi.h"
+#include "obj/object.h"
+
+namespace camo::kernel {
+
+struct KernelConfig {
+  compiler::ProtectionConfig protection = compiler::ProtectionConfig::full();
+  unsigned pac_failure_threshold = 8;  ///< §5.4 (must fit in 12 bits)
+  bool log_pac_failures = true;        ///< console log on each failure
+  bool preempt = false;                ///< reschedule on EL0 timer IRQ
+  /// Extension of the paper's §8 future work ("attacks targeting the
+  /// interrupt handler could modify or replace kernel register content"):
+  /// sign the saved exception return state. The entry stub signs the
+  /// trapframe's ELR with the IA key against a modifier folding the
+  /// trapframe address and the saved SPSR; the exit path authenticates it.
+  /// Rewriting a sleeping task's saved ELR — or flipping the saved SPSR's
+  /// exception level for an ERET-to-EL1 escalation — then fails closed.
+  bool protect_trapframe = false;
+  /// §8 ISA-extension mode (requires cpu::Cpu::Config::banked_keys): the
+  /// kernel keys live in an EL2-managed bank, so the entry/exit key switch
+  /// and the XOM setter call disappear; per-task user keys are installed at
+  /// context switch only (as Linux does), not on every exception return.
+  bool banked_keys = false;
+};
+
+/// One user thread: where it starts, its stack, its address space and its
+/// per-thread EL0 PAuth keys (kept in the kernel task struct, as Linux keeps
+/// them in thread_struct, §2.2).
+struct TaskSpec {
+  uint64_t user_pc = 0;
+  uint64_t user_sp = 0;
+  uint64_t space_id = 0;
+  std::array<uint64_t, 10> user_keys{};
+};
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(KernelConfig cfg) : cfg_(cfg) {}
+
+  void add_task(const TaskSpec& spec) { tasks_.push_back(spec); }
+  size_t task_count() const { return tasks_.size(); }
+
+  /// Emit the complete kernel program (pre-instrumentation: the bootloader
+  /// runs the passes).
+  obj::Program build();
+
+  /// Symbols that legitimately write PAuth key registers besides the XOM
+  /// setter (the user-key restore path) — the bootloader allow-lists them.
+  static std::vector<std::string> key_write_symbols() {
+    return {"restore_user_keys_current"};
+  }
+
+ private:
+  KernelConfig cfg_;
+  std::vector<TaskSpec> tasks_;
+};
+
+}  // namespace camo::kernel

@@ -1,0 +1,136 @@
+#include "kernel/machine.h"
+
+#include "compiler/instrument.h"
+#include "support/error.h"
+#include "support/format.h"
+#include "support/rng.h"
+
+namespace camo::kernel {
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_([&] {
+        // The §8 banked-keys extension involves both the core and the
+        // kernel build; setting either flag enables both sides coherently.
+        cfg.kernel.banked_keys |= cfg.cpu.banked_keys;
+        cfg.cpu.banked_keys |= cfg.kernel.banked_keys;
+        return cfg;
+      }()),
+      pm_(cfg.phys_bytes),
+      mmu_(pm_, cfg.cpu.layout),
+      hv_(pm_, mmu_),
+      cpu_(mmu_, cfg.cpu),
+      kb_(cfg.kernel) {}
+
+int Machine::add_user_program(obj::Program prog, const std::string& entry) {
+  if (boot_) fail("machine: add programs before boot()");
+  // User binaries keep the stock ABI (R5): no kernel instrumentation is
+  // applied; they are free to use PAuth with their own EL0 keys.
+  compiler::instrument(prog, compiler::ProtectionConfig::none());
+  const obj::Image img = obj::Linker::link(prog, kUserBase);
+
+  const int space = hv_.create_user_space();
+  hv_.load_image(img, hv_.user_space(space), /*user=*/true);
+  hv_.map_user_rw(space, kUserStackTop - kUserStackSize, kUserStackSize);
+  user_images_.push_back(img);
+  user_spaces_.push_back(space);
+
+  TaskSpec spec;
+  spec.user_pc = img.symbol(entry);
+  spec.user_sp = kUserStackTop;
+  spec.space_id = static_cast<uint64_t>(space);
+  // Per-thread EL0 keys, freshly generated like exec() does (§2.2).
+  Xoshiro256 rng(cfg_.seed ^ (0x9E37ull * next_pid_));
+  for (auto& half : spec.user_keys) half = rng.next();
+  kb_.add_task(spec);
+  return static_cast<int>(next_pid_++);
+}
+
+int Machine::register_module(const std::string& name, obj::Program prog) {
+  // LKMs are built with the same compiler configuration as the kernel.
+  compiler::instrument(prog, cfg_.kernel.protection);
+  return hv_.register_module(name, std::move(prog));
+}
+
+void Machine::boot() {
+  if (boot_) fail("machine: already booted");
+  // Boot stack for the swapper context (becomes task 0's kernel stack).
+  hv_.map_kernel_rw(kBootStackTop - kKernelStackSize, kKernelStackSize);
+
+  core::BootConfig bcfg;
+  bcfg.seed = cfg_.seed;
+  bcfg.protection = cfg_.kernel.protection;
+  bcfg.entry_symbol = "early_boot";
+  bcfg.key_write_symbols = KernelBuilder::key_write_symbols();
+  boot_ = std::make_unique<core::BootResult>(core::Bootloader::boot(
+      kb_.build(), bcfg, hv_, cpu_, kKernelBase, kBootStackTop));
+
+  // §8 extension: the "hypervisor" provisions the kernel key bank directly —
+  // the keys never exist in EL1-accessible state.
+  if (cfg_.cpu.banked_keys) {
+    cpu_.set_kernel_bank_key(cpu::PacKey::IA, boot_->keys.ia);
+    cpu_.set_kernel_bank_key(cpu::PacKey::IB, boot_->keys.ib);
+    cpu_.set_kernel_bank_key(cpu::PacKey::DA, boot_->keys.da);
+    cpu_.set_kernel_bank_key(cpu::PacKey::DB, boot_->keys.db);
+    cpu_.set_kernel_bank_key(cpu::PacKey::GA, boot_->keys.ga);
+  }
+
+  if (cfg_.kernel.preempt) cpu_.set_timer_period(cfg_.preempt_timeslice);
+}
+
+bool Machine::run(uint64_t max_steps) {
+  cpu_.run(max_steps);
+  return cpu_.halted();
+}
+
+uint64_t Machine::kernel_symbol(const std::string& name) const {
+  if (!boot_) fail("machine: not booted");
+  return boot_->kernel_image.symbol(name);
+}
+
+uint64_t Machine::read_u64(uint64_t va) const {
+  const auto r = mmu_.read64(va, mem::El::El2);
+  if (r.fault != mem::FaultKind::None)
+    fail("machine: read_u64 fault at " + hex_short(va));
+  return r.value;
+}
+
+void Machine::write_u64(uint64_t va, uint64_t value) {
+  // Host-level write bypassing stage-2 (models the threat-model's kernel
+  // R/W primitive against *writable* memory; attacks that must honour
+  // write-protection use attacks::Attacker instead).
+  const auto t = mmu_.translate(va, mem::Access::Read, mem::El::El2);
+  if (!t.ok()) fail("machine: write_u64 fault at " + hex_short(va));
+  pm_.write64(t.pa, value);
+}
+
+uint64_t Machine::read_global(const std::string& sym) const {
+  return read_u64(kernel_symbol(sym));
+}
+
+void Machine::write_global(const std::string& sym, uint64_t value) {
+  write_u64(kernel_symbol(sym), value);
+}
+
+uint64_t Machine::task_struct(unsigned pid) const {
+  return kernel_symbol(kSymTaskArray) + pid * kTaskSize;
+}
+
+uint64_t Machine::file_struct(unsigned fd) const {
+  return kernel_symbol(kSymFileTable) + fd * kFileSize;
+}
+
+uint64_t Machine::user_symbol(unsigned pid, const std::string& name) const {
+  if (pid == 0 || pid > user_images_.size()) fail("machine: bad pid");
+  return user_images_[pid - 1].symbol(name);
+}
+
+uint64_t Machine::read_user_u64(unsigned pid, uint64_t va) {
+  if (pid == 0 || pid > user_spaces_.size()) fail("machine: bad pid");
+  const int active = hv_.active_user_space();
+  hv_.switch_user_space(user_spaces_[pid - 1]);
+  const uint64_t v = read_u64(va);
+  if (active >= 0) hv_.switch_user_space(active);
+  return v;
+}
+
+}  // namespace camo::kernel

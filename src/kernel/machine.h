@@ -1,0 +1,96 @@
+// Machine: the full simulated system — physical memory, MMU, hypervisor,
+// CPU, booted Camouflage kernel, user programs in their own address spaces,
+// and registered loadable modules.
+//
+// This is the facade examples, benches and the attack framework build on:
+// construct, add user programs / modules, boot(), run(), then inspect guest
+// state through the kernel symbol table.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/bootloader.h"
+#include "cpu/cpu.h"
+#include "hyp/hypervisor.h"
+#include "kernel/abi.h"
+#include "kernel/kernel_builder.h"
+#include "mem/mmu.h"
+#include "obj/object.h"
+
+namespace camo::kernel {
+
+struct MachineConfig {
+  KernelConfig kernel;
+  cpu::Cpu::Config cpu;
+  uint64_t seed = 0xC0FFEE;          ///< boot entropy (kernel + user keys)
+  uint64_t phys_bytes = 64ull << 20;
+  uint64_t preempt_timeslice = 20000;  ///< cycles, when kernel.preempt is set
+};
+
+/// User stack placement (top of the mapped user stack region).
+inline constexpr uint64_t kUserStackTop = 0x0000000080000000ull;
+inline constexpr uint64_t kUserStackSize = 0x10000;
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {});
+
+  // ---- pre-boot configuration ----
+  /// Add a user thread running `prog` (un-instrumented; the user ABI is
+  /// preserved, R5) in its own address space. Returns the pid (1-based).
+  /// `entry` is the symbol execution starts at.
+  int add_user_program(obj::Program prog, const std::string& entry = "_ustart");
+  /// Register a loadable module (instrumented with the kernel's protection
+  /// config, §4.1). Returns the module id for Sys::InitModule.
+  int register_module(const std::string& name, obj::Program prog);
+
+  /// Build + verify + load + start the kernel. Throws on verification
+  /// failure. After boot() the CPU sits at the kernel entry point.
+  void boot();
+
+  // ---- execution ----
+  /// Run until halt or step budget exhaustion. Returns true if halted.
+  bool run(uint64_t max_steps = 200'000'000);
+
+  bool halted() const { return cpu_.halted(); }
+  uint64_t halt_code() const { return cpu_.halt_code(); }
+  const std::string& console() const { return hv_.console(); }
+
+  // ---- component access ----
+  cpu::Cpu& cpu() { return cpu_; }
+  mem::Mmu& mmu() { return mmu_; }
+  hyp::Hypervisor& hyp() { return hv_; }
+  const core::BootResult& boot_result() const { return *boot_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  // ---- guest state inspection / manipulation (host-side) ----
+  uint64_t kernel_symbol(const std::string& name) const;
+  uint64_t read_u64(uint64_t va) const;
+  void write_u64(uint64_t va, uint64_t value);  ///< the attacker's primitive
+  uint64_t read_global(const std::string& sym) const;
+  void write_global(const std::string& sym, uint64_t value);
+  /// Address of the task struct for `pid`.
+  uint64_t task_struct(unsigned pid) const;
+  /// Address of file_table[fd].
+  uint64_t file_struct(unsigned fd) const;
+  /// Symbol address within pid's user image (1-based pid).
+  uint64_t user_symbol(unsigned pid, const std::string& name) const;
+  /// Read a u64 from pid's user address space (any current active space).
+  uint64_t read_user_u64(unsigned pid, uint64_t va);
+
+ private:
+  MachineConfig cfg_;
+  mem::PhysicalMemory pm_;
+  mem::Mmu mmu_;
+  hyp::Hypervisor hv_;
+  cpu::Cpu cpu_;
+  KernelBuilder kb_;
+  std::unique_ptr<core::BootResult> boot_;
+  std::vector<obj::Image> user_images_;  ///< indexed by pid - 1
+  std::vector<int> user_spaces_;
+  unsigned next_pid_ = 1;
+};
+
+}  // namespace camo::kernel

@@ -1,0 +1,54 @@
+// User-space workload programs for the evaluation (§6.1).
+//
+// Each function returns an obj::Program for one EL0 thread. The lmbench-style
+// micro-benchmarks (Figure 3) stress single syscalls; the three macro
+// workloads (Figure 4) reproduce the paper's user/kernel time mixes:
+//   * image_resize — "JPEG picture resize": predominantly user computation,
+//   * package_build — "Debian package build": balanced compute + syscalls,
+//   * download — "network download": a tight kernel-dominated read loop.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/abi.h"
+#include "obj/object.h"
+
+namespace camo::kernel::workloads {
+
+/// lmbench lat_syscall null: `iters` getpid calls.
+obj::Program null_syscall(uint64_t iters);
+
+/// lmbench lat_syscall read: read `chunk` bytes per iteration from a file of
+/// the given kind.
+obj::Program read_file(uint64_t iters, uint64_t chunk,
+                       FileKind kind = FileKind::Null);
+
+/// lmbench lat_syscall write.
+obj::Program write_file(uint64_t iters, uint64_t chunk,
+                        FileKind kind = FileKind::Null);
+
+/// lmbench lat_syscall open/close.
+obj::Program open_close(uint64_t iters);
+
+/// lmbench lat_syscall stat.
+obj::Program stat_file(uint64_t iters);
+
+/// lmbench lat_ctx: yields `iters` times (pair two of these for ping-pong).
+obj::Program yield_loop(uint64_t iters);
+
+/// Exercises the DECLARE_WORK path (§4.6).
+obj::Program queue_work(uint64_t iters);
+
+/// Exercises the writable hook pointer (§4.4).
+obj::Program call_hook(uint64_t iters);
+
+/// Loads module `id` then exits (Sys::InitModule). Result is written to the
+/// console as 'Y'/'N'.
+obj::Program load_module(uint64_t module_id);
+
+/// Figure 4 workloads.
+obj::Program image_resize(uint64_t rows);
+obj::Program package_build(uint64_t units);
+obj::Program download(uint64_t chunks);
+
+}  // namespace camo::kernel::workloads

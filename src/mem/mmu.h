@@ -1,0 +1,135 @@
+// Two-stage address translation (VMSAv8 model).
+//
+// Stage 1 maps virtual pages to physical pages with per-EL permissions; bit
+// 55 of the VA selects the user (TTBR0) or kernel (TTBR1) half. Stage 2 is a
+// hypervisor-owned permission overlay keyed by physical page — this is what
+// makes execute-only memory possible at EL1 (Appendix A.2): stage-1 EL1
+// mappings are implicitly readable, so the hypervisor removes the read
+// permission in stage 2 for the key-setter page.
+//
+// Translation tables are host-side structures owned by the hypervisor rather
+// than guest-memory-resident tables; the paper's threat model locks all MMU
+// control away from EL1 anyway (§3.1), so EL1 never walks or edits tables —
+// it requests changes via hypervisor calls.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/phys.h"
+#include "mem/valayout.h"
+
+namespace camo::mem {
+
+enum class Access : uint8_t { Fetch, Read, Write };
+enum class El : uint8_t { El0 = 0, El1 = 1, El2 = 2 };
+
+enum class FaultKind : uint8_t {
+  None,
+  AddressSize,   ///< non-canonical VA (this is how PAC poisoning faults)
+  Translation,   ///< no stage-1 mapping
+  Permission,    ///< stage-1 permission denied
+  Stage2,        ///< hypervisor (stage-2) permission denied
+};
+
+const char* fault_name(FaultKind k);
+
+/// Stage-1 page permissions, separately for privileged and user access.
+struct PagePerms {
+  bool r_el1 = false, w_el1 = false, x_el1 = false;
+  bool r_el0 = false, w_el0 = false, x_el0 = false;
+
+  static PagePerms kernel_text() { return {true, false, true, false, false, false}; }
+  static PagePerms kernel_ro() { return {true, false, false, false, false, false}; }
+  static PagePerms kernel_rw() { return {true, true, false, false, false, false}; }
+  static PagePerms user_text() { return {true, false, false, true, false, true}; }
+  static PagePerms user_ro() { return {true, false, false, true, false, false}; }
+  static PagePerms user_rw() { return {true, true, false, true, true, false}; }
+};
+
+struct PageEntry {
+  uint64_t pa_page = 0;
+  PagePerms perms;
+};
+
+/// One half (user or kernel) of a stage-1 address space.
+class Stage1Map {
+ public:
+  /// Map the 4 KiB page containing va to the page containing pa.
+  void map_page(uint64_t va, uint64_t pa, PagePerms perms);
+  /// Map a contiguous range (va, pa aligned, len rounded up to pages).
+  void map_range(uint64_t va, uint64_t pa, uint64_t len, PagePerms perms);
+  void unmap_page(uint64_t va);
+  void protect_range(uint64_t va, uint64_t len, PagePerms perms);
+
+  const PageEntry* lookup(uint64_t va) const;
+  size_t page_count() const { return pages_.size(); }
+
+ private:
+  static uint64_t key(uint64_t va) { return va >> VaLayout::kPageShift; }
+  std::unordered_map<uint64_t, PageEntry> pages_;
+};
+
+/// Stage-2 permission overlay, keyed by physical page. Pages without an
+/// entry get full access (the common case). The hypervisor is the only
+/// writer.
+class Stage2Map {
+ public:
+  struct Perms {
+    bool read = true, write = true, exec = true;
+  };
+
+  void restrict_page(uint64_t pa, Perms p);
+  void restrict_range(uint64_t pa, uint64_t len, Perms p);
+  /// Execute-only: no read, no write, fetch allowed.
+  static Perms xom() { return {false, false, true}; }
+  /// Read-only (e.g. locking kernel text/rodata against the write primitive).
+  static Perms read_only() { return {true, false, true}; }
+
+  Perms lookup(uint64_t pa) const;
+
+ private:
+  std::unordered_map<uint64_t, Perms> pages_;
+};
+
+struct TranslateResult {
+  FaultKind fault = FaultKind::None;
+  uint64_t pa = 0;
+
+  bool ok() const { return fault == FaultKind::None; }
+};
+
+/// The MMU: combines the VA layout, the two stage-1 halves and the stage-2
+/// overlay. The CPU performs every access through it.
+class Mmu {
+ public:
+  Mmu(PhysicalMemory& phys, VaLayout layout) : phys_(&phys), layout_(layout) {}
+
+  void set_user_map(const Stage1Map* m) { user_map_ = m; }
+  void set_kernel_map(const Stage1Map* m) { kernel_map_ = m; }
+  void set_stage2(const Stage2Map* m) { stage2_ = m; }
+  const VaLayout& layout() const { return layout_; }
+  PhysicalMemory& phys() { return *phys_; }
+
+  TranslateResult translate(uint64_t va, Access access, El el) const;
+
+  // Convenience accessors used by the CPU and by hypervisor services.
+  struct Read64 {
+    FaultKind fault = FaultKind::None;
+    uint64_t value = 0;
+  };
+  Read64 read64(uint64_t va, El el) const;
+  Read64 read8(uint64_t va, El el) const;
+  Read64 read32_fetch(uint64_t va, El el) const;
+  FaultKind write64(uint64_t va, uint64_t v, El el);
+  FaultKind write8(uint64_t va, uint8_t v, El el);
+
+ private:
+  PhysicalMemory* phys_;
+  VaLayout layout_;
+  const Stage1Map* user_map_ = nullptr;
+  const Stage1Map* kernel_map_ = nullptr;
+  const Stage2Map* stage2_ = nullptr;
+};
+
+}  // namespace camo::mem

@@ -1,0 +1,67 @@
+#include "mem/phys.h"
+
+#include <cstring>
+
+#include "support/error.h"
+#include "support/format.h"
+
+namespace camo::mem {
+
+PhysicalMemory::PhysicalMemory(uint64_t size_bytes) : bytes_(size_bytes, 0) {}
+
+void PhysicalMemory::check(uint64_t pa, uint64_t len) const {
+  if (pa > bytes_.size() || len > bytes_.size() - pa)
+    fail("physical access out of range: " + hex_short(pa) + " len " +
+         std::to_string(len));
+}
+
+uint8_t PhysicalMemory::read8(uint64_t pa) const {
+  check(pa, 1);
+  return bytes_[pa];
+}
+
+uint32_t PhysicalMemory::read32(uint64_t pa) const {
+  check(pa, 4);
+  uint32_t v;
+  std::memcpy(&v, &bytes_[pa], 4);
+  return v;
+}
+
+uint64_t PhysicalMemory::read64(uint64_t pa) const {
+  check(pa, 8);
+  uint64_t v;
+  std::memcpy(&v, &bytes_[pa], 8);
+  return v;
+}
+
+void PhysicalMemory::write8(uint64_t pa, uint8_t v) {
+  check(pa, 1);
+  bytes_[pa] = v;
+}
+
+void PhysicalMemory::write32(uint64_t pa, uint32_t v) {
+  check(pa, 4);
+  std::memcpy(&bytes_[pa], &v, 4);
+}
+
+void PhysicalMemory::write64(uint64_t pa, uint64_t v) {
+  check(pa, 8);
+  std::memcpy(&bytes_[pa], &v, 8);
+}
+
+void PhysicalMemory::write_block(uint64_t pa, const void* data, uint64_t len) {
+  check(pa, len);
+  std::memcpy(&bytes_[pa], data, len);
+}
+
+void PhysicalMemory::read_block(uint64_t pa, void* data, uint64_t len) const {
+  check(pa, len);
+  std::memcpy(data, &bytes_[pa], len);
+}
+
+void PhysicalMemory::fill(uint64_t pa, uint8_t value, uint64_t len) {
+  check(pa, len);
+  std::memset(&bytes_[pa], value, len);
+}
+
+}  // namespace camo::mem

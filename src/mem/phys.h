@@ -1,0 +1,36 @@
+// Flat physical memory backing the simulated machine.
+//
+// Out-of-range physical accesses throw camo::Error: guest code can only reach
+// physical memory through hypervisor-owned translations, so an out-of-range
+// PA indicates a host-side bug, not modeled guest behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace camo::mem {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(uint64_t size_bytes);
+
+  uint64_t size() const { return bytes_.size(); }
+
+  uint8_t read8(uint64_t pa) const;
+  uint32_t read32(uint64_t pa) const;
+  uint64_t read64(uint64_t pa) const;
+  void write8(uint64_t pa, uint8_t v);
+  void write32(uint64_t pa, uint32_t v);
+  void write64(uint64_t pa, uint64_t v);
+
+  /// Bulk copy into physical memory (used by the loader and bootloader).
+  void write_block(uint64_t pa, const void* data, uint64_t len);
+  void read_block(uint64_t pa, void* data, uint64_t len) const;
+  void fill(uint64_t pa, uint8_t value, uint64_t len);
+
+ private:
+  void check(uint64_t pa, uint64_t len) const;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace camo::mem

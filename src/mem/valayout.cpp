@@ -1,0 +1,81 @@
+#include "mem/valayout.h"
+
+#include <sstream>
+
+#include "support/bits.h"
+#include "support/format.h"
+
+namespace camo::mem {
+
+unsigned VaLayout::pac_width(uint64_t va) const {
+  unsigned w = 55 - va_bits;  // bits [54 : va_bits]
+  if (!tbi(va)) w += 8;       // bits [63:56]
+  return w;
+}
+
+uint64_t VaLayout::pac_mask(uint64_t va) const {
+  uint64_t m = mask(55 - va_bits) << va_bits;  // [54 : va_bits]
+  if (!tbi(va)) m |= mask(8) << 56;            // [63:56]
+  return m;
+}
+
+bool VaLayout::is_canonical(uint64_t va) const {
+  const uint64_t ext = is_kernel_va(va) ? ~uint64_t{0} : 0;
+  const uint64_t m = pac_mask(va);
+  return (va & m) == (ext & m);
+}
+
+uint64_t VaLayout::canonical(uint64_t va) const {
+  const uint64_t ext = is_kernel_va(va) ? ~uint64_t{0} : 0;
+  const uint64_t m = pac_mask(va);
+  return (va & ~m) | (ext & m);
+}
+
+std::string VaLayout::render_table1() const {
+  // Table 1: VMSAv8 address ranges. With va_bits of addressing below bit 55,
+  // the valid ranges are the sign-extended extremes of each half.
+  const uint64_t user_top = mask(va_bits);
+  const uint64_t kernel_bottom = ~mask(va_bits);
+  std::ostringstream os;
+  os << "Table 1: VMSAv8 address ranges (va_bits=" << va_bits << ")\n";
+  os << "  Address range                                Bit55  Usage\n";
+  os << "  " << hex(~uint64_t{0}) << " - " << hex(kernel_bottom)
+     << "   1    Kernel\n";
+  os << "  " << hex(kernel_bottom - 1) << " - " << hex(user_top + 1)
+     << "        Invalid\n";
+  os << "  " << hex(user_top) << " - " << hex(0) << "   0    User\n";
+  return os.str();
+}
+
+std::string VaLayout::render_table2() const {
+  auto row = [&](bool kernel) {
+    std::string s(64, ' ');
+    for (int bitpos = 63; bitpos >= 0; --bitpos) {
+      char c;
+      const unsigned i = static_cast<unsigned>(bitpos);
+      if (i < kPageShift)
+        c = 'o';  // page offset
+      else if (i < va_bits)
+        c = 'a';  // page number
+      else if (i == 55)
+        c = kernel ? '1' : '0';
+      else if (i >= 56 && ((kernel && tbi_kernel) || (!kernel && tbi_user)))
+        c = 't';  // ignored tag byte
+      else
+        c = kernel ? '1' : '0';  // sign extension
+      s[static_cast<size_t>(63 - bitpos)] = c;
+    }
+    return s;
+  };
+  std::ostringstream os;
+  os << "Table 2: AArch64 pointer layout on Linux (va_bits=" << va_bits
+     << ", page=" << kPageSize << ")\n";
+  os << "  bit:    63       55                  12          0\n";
+  os << "  user:   " << row(false) << "\n";
+  os << "  kernel: " << row(true) << "\n";
+  os << "  (t=ignored tag, a=address, o=page offset; PAC bits: user="
+     << pac_width(0) << ", kernel=" << pac_width(uint64_t{1} << 55) << ")\n";
+  return os.str();
+}
+
+}  // namespace camo::mem

@@ -1,0 +1,56 @@
+// VMSAv8 virtual-address layout (paper Appendix A, Tables 1 and 2).
+//
+// AArch64 pointers are 64 bits but the VA space uses va_bits (48 in typical
+// Linux configs). Bit 55 selects the translation table: TTBR0 (user) vs TTBR1
+// (kernel). Remaining high bits are sign extension — unless Top-Byte-Ignore
+// (TBI) is enabled, which Linux does for user space but not kernel space.
+//
+// The bits that are neither address nor bit 55 (nor the ignored top byte) are
+// where PAuth stores the PAC. With va_bits = 48: 15 PAC bits for kernel
+// pointers, 7 for user pointers — exactly the "15 bits" of §5.4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace camo::mem {
+
+struct VaLayout {
+  unsigned va_bits = 48;    ///< virtual address size (39..52 typical)
+  bool tbi_user = true;     ///< Linux enables TBI for EL0 addresses
+  bool tbi_kernel = false;  ///< ...but not for kernel addresses
+
+  /// Bit 55 selects the kernel (TTBR1) half.
+  static bool is_kernel_va(uint64_t va) { return (va >> 55) & 1; }
+
+  /// TBI in effect for this address?
+  bool tbi(uint64_t va) const {
+    return is_kernel_va(va) ? tbi_kernel : tbi_user;
+  }
+
+  /// Number of PAC bits available for this address (paper Appendix A/B).
+  unsigned pac_width(uint64_t va) const;
+
+  /// Bitmask of the positions PAC bits occupy for this address: bits
+  /// [54 : va_bits] always, plus [63:56] when TBI is off.
+  uint64_t pac_mask(uint64_t va) const;
+
+  /// True when the non-address bits are proper sign extension of bit 55
+  /// (ignoring the top byte under TBI). Non-canonical addresses fault.
+  bool is_canonical(uint64_t va) const;
+
+  /// Replace non-address bits with the sign extension of bit 55 (keeping the
+  /// top byte when TBI applies): the pointer as the hardware will use it.
+  uint64_t canonical(uint64_t va) const;
+
+  /// The page offset / page-number split (Table 2). Page size is fixed 4 KiB.
+  static constexpr unsigned kPageShift = 12;
+  static constexpr uint64_t kPageSize = uint64_t{1} << kPageShift;
+
+  /// Render the paper's Table 1 (address ranges) and Table 2 (pointer
+  /// layouts) from this configuration, for the bench that regenerates them.
+  std::string render_table1() const;
+  std::string render_table2() const;
+};
+
+}  // namespace camo::mem

@@ -1,0 +1,64 @@
+// Bit-manipulation utilities shared by the ISA, MMU, PAuth and cipher code.
+//
+// All helpers operate on uint64_t and use [lsb, width] field addressing, the
+// same convention the ARM ARM uses for <hi:lo> fields.
+#pragma once
+
+#include <cstdint>
+#include <cassert>
+
+namespace camo {
+
+/// Mask with `width` low-order ones. width == 64 is allowed.
+constexpr uint64_t mask(unsigned width) {
+  return width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+}
+
+/// Extract bits [lsb, lsb+width) of v, right-aligned.
+constexpr uint64_t bits(uint64_t v, unsigned lsb, unsigned width) {
+  return (v >> lsb) & mask(width);
+}
+
+/// Extract single bit `pos` of v.
+constexpr bool bit(uint64_t v, unsigned pos) { return (v >> pos) & 1; }
+
+/// Return v with bits [lsb, lsb+width) replaced by the low bits of field.
+constexpr uint64_t insert_bits(uint64_t v, unsigned lsb, unsigned width,
+                               uint64_t field) {
+  const uint64_t m = mask(width) << lsb;
+  return (v & ~m) | ((field << lsb) & m);
+}
+
+/// Sign-extend the low `width` bits of v to 64 bits.
+constexpr int64_t sign_extend(uint64_t v, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  const uint64_t sign = uint64_t{1} << (width - 1);
+  v &= mask(width);
+  return static_cast<int64_t>((v ^ sign) - sign);
+}
+
+/// Rotate right within 64 bits.
+constexpr uint64_t ror64(uint64_t v, unsigned n) {
+  n &= 63;
+  return n == 0 ? v : (v >> n) | (v << (64 - n));
+}
+
+/// Rotate left within 64 bits.
+constexpr uint64_t rol64(uint64_t v, unsigned n) { return ror64(v, 64 - n); }
+
+/// Is v aligned to `align` (a power of two)?
+constexpr bool is_aligned(uint64_t v, uint64_t align) {
+  return (v & (align - 1)) == 0;
+}
+
+/// Round v up to the next multiple of `align` (a power of two).
+constexpr uint64_t align_up(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Round v down to a multiple of `align` (a power of two).
+constexpr uint64_t align_down(uint64_t v, uint64_t align) {
+  return v & ~(align - 1);
+}
+
+}  // namespace camo

@@ -1,0 +1,22 @@
+// Error reporting for host-level misuse (not for modeled hardware faults —
+// those are values, see cpu/exception.h).
+//
+// Programming errors in *host* code (invalid encodings handed to the
+// assembler, out-of-range physical addresses, linker failures) throw
+// camo::Error; modeled guest faults (translation faults, PAuth failures)
+// never throw — they are part of the simulated machine state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace camo {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& what) { throw Error(what); }
+
+}  // namespace camo

@@ -1,0 +1,18 @@
+// Small formatting helpers used by the disassembler, loggers and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace camo {
+
+/// Format v as a 0x-prefixed lower-case hex string with `digits` digits.
+std::string hex(uint64_t v, int digits = 16);
+
+/// Format v as a short hex string without leading zeros (still 0x-prefixed).
+std::string hex_short(uint64_t v);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace camo

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generators.
+//
+// The bootloader uses these to generate kernel PAuth keys (the paper generates
+// them "much like the random seed for kernel ASLR", passed via the FDT).
+// SplitMix64 seeds Xoshiro256**; both are standard public-domain algorithms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace camo {
+
+/// SplitMix64: used for seeding and as a cheap stateless mixer.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256**: the general-purpose PRNG used for key generation and
+/// randomized workloads. Deterministic given the seed, so every experiment
+/// in this repository is reproducible.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  uint64_t next_below(uint64_t bound) { return next() % bound; }
+
+  /// Standard UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+  uint64_t operator()() { return next(); }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<uint64_t, 4> state_{};
+};
+
+}  // namespace camo

@@ -1,0 +1,129 @@
+// Static verifier tests (§4.1): key-read rejection, SCTLR-write policing,
+// allow-lists, image-level scanning.
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.h"
+#include "assembler/builder.h"
+#include "compiler/instrument.h"
+
+namespace camo::analysis {
+namespace {
+
+using assembler::FunctionBuilder;
+using isa::SysReg;
+
+std::vector<uint32_t> words_of(FunctionBuilder& f) { return f.assemble().words; }
+
+TEST(Verifier, CleanCodePasses) {
+  FunctionBuilder f("clean");
+  f.mov_imm(0, 42);
+  f.pacia(0, 1);
+  f.autia(0, 1);
+  f.mrs(2, SysReg::TPIDR_EL1);  // non-key sysreg read is fine
+  f.ret();
+  auto w = words_of(f);
+  const auto r = Verifier{}.verify_words(w.data(), w.size(), 0x1000);
+  EXPECT_TRUE(r.ok()) << r.describe();
+  EXPECT_EQ(r.words_scanned, w.size());
+}
+
+TEST(Verifier, KeyReadRejected) {
+  // §6.2.2: "key reads can be trivially found and rejected".
+  for (auto reg : {SysReg::APIAKeyLo, SysReg::APIBKeyHi, SysReg::APDBKeyLo,
+                   SysReg::APGAKeyHi}) {
+    FunctionBuilder f("evil");
+    f.nop();
+    f.mrs(0, reg);
+    f.ret();
+    auto w = words_of(f);
+    const auto r = Verifier{}.verify_words(w.data(), w.size(), 0x1000);
+    ASSERT_EQ(r.violations.size(), 1u) << isa::sysreg_name(reg);
+    EXPECT_EQ(r.violations[0].kind, ViolationKind::KeyRegisterRead);
+    EXPECT_EQ(r.violations[0].va, 0x1004u);
+  }
+}
+
+TEST(Verifier, SctlrWriteRejectedOutsideAllowlist) {
+  FunctionBuilder f("evil");
+  f.mov_imm(0, 0);
+  f.msr(SysReg::SCTLR_EL1, 0);  // would clear the PAuth enable bits
+  f.ret();
+  auto w = words_of(f);
+  const auto r = Verifier{}.verify_words(w.data(), w.size(), 0x2000);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, ViolationKind::SctlrWrite);
+}
+
+TEST(Verifier, SctlrWriteAllowedInEarlyBoot) {
+  FunctionBuilder f("early_boot");
+  f.mov_imm(0, isa::kSctlrEnIB & 0xFFFF);
+  f.msr(SysReg::SCTLR_EL1, 0);
+  f.ret();
+  auto w = words_of(f);
+  Verifier v;
+  v.allow_sctlr_writes(0x2000, w.size() * 4);
+  EXPECT_TRUE(v.verify_words(w.data(), w.size(), 0x2000).ok());
+  // The same code anywhere else still violates.
+  EXPECT_FALSE(v.verify_words(w.data(), w.size(), 0x9000).ok());
+}
+
+TEST(Verifier, KeyWriteOnlyInsideSetterPage) {
+  FunctionBuilder f("rogue_setter");
+  f.movz(9, 0xDEAD, 0);
+  f.msr(SysReg::APIBKeyLo, 9);
+  f.ret();
+  auto w = words_of(f);
+  Verifier v;
+  v.allow_key_writes(0x5000, 0x1000);
+  EXPECT_TRUE(v.verify_words(w.data(), w.size(), 0x5000).ok());
+  const auto r = v.verify_words(w.data(), w.size(), 0x7000);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, ViolationKind::KeyRegisterWrite);
+}
+
+TEST(Verifier, MultipleViolationsAllReported) {
+  FunctionBuilder f("evil");
+  f.mrs(0, SysReg::APIAKeyLo);
+  f.mrs(1, SysReg::APIAKeyHi);
+  f.msr(SysReg::SCTLR_EL1, 2);
+  f.ret();
+  auto w = words_of(f);
+  const auto r = Verifier{}.verify_words(w.data(), w.size(), 0);
+  EXPECT_EQ(r.violations.size(), 3u);
+  EXPECT_NE(r.describe().find("pauth-key-read"), std::string::npos);
+  EXPECT_NE(r.describe().find("sctlr-write"), std::string::npos);
+}
+
+TEST(Verifier, ImageScanCoversAllTextSegments) {
+  obj::Program p;
+  auto& good = p.add_function("good");
+  good.frame_push();
+  good.frame_pop_ret();
+  auto& bad = p.add_function("bad");
+  bad.mrs(0, SysReg::APDBKeyHi);
+  bad.ret();
+  compiler::instrument(p, compiler::ProtectionConfig::full());
+  const auto img = obj::Linker::link(p, 0xFFFF000000080000ull);
+  const auto r = Verifier{}.verify_image(img);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].va, img.symbol("bad"));
+}
+
+TEST(Verifier, InstrumentedKernelStyleCodeIsClean) {
+  // The instrumentation passes themselves must never emit key reads.
+  obj::Program p;
+  auto& f = p.add_function("worker");
+  f.frame_push();
+  f.mov_imm(0, 0x1000);
+  f.mov_imm(1, 0x2000);
+  f.store_protected(1, 0, 8, 3, cpu::PacKey::DB);
+  f.load_protected(2, 0, 8, 3, cpu::PacKey::DB);
+  f.call_protected(2, 0, 3, cpu::PacKey::IB);
+  f.frame_pop_ret();
+  compiler::instrument(p, compiler::ProtectionConfig::full());
+  const auto img = obj::Linker::link(p, 0xFFFF000000080000ull);
+  EXPECT_TRUE(Verifier{}.verify_image(img).ok());
+}
+
+}  // namespace
+}  // namespace camo::analysis

@@ -1,0 +1,156 @@
+// Census tool tests (§5.3): struct parsing, member classification,
+// run-time-assignment detection, corpus generation.
+#include <gtest/gtest.h>
+
+#include "analysis/census.h"
+#include "support/error.h"
+
+namespace camo::analysis {
+namespace {
+
+TEST(Census, ParsesFunctionPointerMembers) {
+  const std::string src = R"(
+struct net_device_ops {
+  int (*ndo_open)(struct net_device *);
+  int (*ndo_stop)(struct net_device *);
+  unsigned long refcount;
+};
+)";
+  const auto r = run_census(src);
+  ASSERT_EQ(r.members.size(), 3u);
+  EXPECT_TRUE(r.members[0].is_function_pointer);
+  EXPECT_EQ(r.members[0].member_name, "ndo_open");
+  EXPECT_EQ(r.members[0].type_name, "net_device_ops");
+  EXPECT_TRUE(r.members[1].is_function_pointer);
+  EXPECT_FALSE(r.members[2].is_function_pointer);
+  EXPECT_EQ(r.types_with_fn_ptrs, 1u);
+  EXPECT_EQ(r.runtime_assigned_members, 0u) << "no assignment sites";
+}
+
+TEST(Census, ClassifiesDataPointers) {
+  const std::string src = R"(
+struct file {
+  const struct file_operations *f_op;
+  void *private_data;
+  long f_pos;
+};
+)";
+  const auto r = run_census(src);
+  EXPECT_EQ(r.data_ptr_members, 2u);
+  EXPECT_EQ(r.types_with_fn_ptrs, 0u);
+}
+
+TEST(Census, CountsRuntimeAssignments) {
+  const std::string src = R"(
+struct driver {
+  int (*probe_cb)(void *);
+  int (*remove_cb)(void *);
+};
+static int setup(struct driver *d) {
+  d->probe_cb = my_probe;
+  return 0;
+}
+)";
+  const auto r = run_census(src);
+  EXPECT_EQ(r.runtime_assigned_members, 1u);
+  EXPECT_EQ(r.types_with_runtime_members, 1u);
+  EXPECT_EQ(r.types_with_multiple, 0u) << "only one member is assigned";
+}
+
+TEST(Census, MultipleRuntimeMembersCounted) {
+  const std::string src = R"(
+struct ops_rich {
+  int (*a_cb)(void);
+  int (*b_cb)(void);
+  int (*c_cb)(void);
+};
+void init(struct ops_rich *o) {
+  o->a_cb = fa;
+  o->b_cb = fb;
+}
+)";
+  const auto r = run_census(src);
+  EXPECT_EQ(r.runtime_assigned_members, 2u);
+  EXPECT_EQ(r.types_with_multiple, 1u);
+}
+
+TEST(Census, DesignatedInitializersNotRuntime) {
+  // const ops tables initialised with designated initializers are the
+  // kernel best practice that needs *no* PAuth (§4.4).
+  const std::string src = R"(
+struct good_ops {
+  long (*read_fn)(void *);
+};
+static const struct good_ops ops = {
+  .read_fn = generic_read,
+};
+)";
+  const auto r = run_census(src);
+  EXPECT_EQ(r.runtime_assigned_members, 0u);
+  EXPECT_EQ(r.types_with_fn_ptrs, 1u);
+}
+
+TEST(Census, DotAssignmentOutsideInitializerIsRuntime) {
+  const std::string src = R"(
+struct s {
+  void (*h_cb)(void);
+};
+void f(struct s obj) {
+  obj.h_cb = handler;
+}
+)";
+  const auto r = run_census(src);
+  EXPECT_EQ(r.runtime_assigned_members, 1u);
+}
+
+TEST(Census, CorpusMatchesSpecExactly) {
+  CorpusSpec spec;
+  spec.single_ptr_types = 30;
+  spec.multi_ptr_types = 20;
+  spec.total_members = 120;
+  spec.const_ops_types = 10;
+  spec.seed = 9;
+  const auto r = run_census(generate_driver_corpus(spec));
+  EXPECT_EQ(r.runtime_assigned_members, 120u);
+  EXPECT_EQ(r.types_with_runtime_members, 50u);
+  EXPECT_EQ(r.types_with_multiple, 20u);
+  EXPECT_EQ(r.types_with_fn_ptrs, 60u);  // + 10 const ops types
+}
+
+TEST(Census, DefaultSpecReproducesPaperNumbers) {
+  const auto r = run_census(generate_driver_corpus(CorpusSpec{}));
+  EXPECT_EQ(r.runtime_assigned_members, 1285u);
+  EXPECT_EQ(r.types_with_runtime_members, 504u);
+  EXPECT_EQ(r.types_with_multiple, 229u);
+}
+
+TEST(Census, CorpusDeterministicPerSeed) {
+  CorpusSpec a, b;
+  a.seed = b.seed = 3;
+  EXPECT_EQ(generate_driver_corpus(a), generate_driver_corpus(b));
+  b.seed = 4;
+  EXPECT_NE(generate_driver_corpus(a), generate_driver_corpus(b));
+}
+
+TEST(Census, RejectsInfeasibleSpec) {
+  CorpusSpec bad;
+  bad.single_ptr_types = 10;
+  bad.multi_ptr_types = 10;
+  bad.total_members = 25;  // needs >= 10 + 2*10
+  EXPECT_THROW(generate_driver_corpus(bad), camo::Error);
+}
+
+TEST(Census, SummaryMentionsKeyNumbers) {
+  CorpusSpec spec;
+  spec.single_ptr_types = 5;
+  spec.multi_ptr_types = 2;
+  spec.total_members = 10;
+  spec.const_ops_types = 0;
+  const auto r = run_census(generate_driver_corpus(spec));
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("10 run-time-assigned"), std::string::npos);
+  EXPECT_NE(s.find("7 compound types"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace camo::analysis

@@ -1,0 +1,270 @@
+// CPU property tests: ALU/flag semantics checked against host arithmetic
+// over random operands, and PAuth-unit algebraic properties (sign/auth
+// identity, poison canonicality, strip idempotence, modifier/key
+// sensitivity) over random pointers.
+#include <gtest/gtest.h>
+
+#include "cpu/pauth.h"
+#include "support/format.h"
+#include "core/modifier.h"
+#include "harness.h"
+#include "support/rng.h"
+
+namespace camo {
+namespace {
+
+using assembler::FunctionBuilder;
+using camo::testing::kHData;
+using camo::testing::SimHarness;
+using cpu::PacKey;
+using isa::Cond;
+
+// ---------------------------------------------------------------------------
+// ALU semantics vs host arithmetic
+// ---------------------------------------------------------------------------
+
+struct AluCase {
+  const char* name;
+  void (*emit)(FunctionBuilder&);  // x2 = f(x0, x1)
+  uint64_t (*host)(uint64_t, uint64_t);
+};
+
+const AluCase kAluCases[] = {
+    {"add", [](FunctionBuilder& f) { f.add(2, 0, 1); },
+     [](uint64_t a, uint64_t b) { return a + b; }},
+    {"sub", [](FunctionBuilder& f) { f.sub(2, 0, 1); },
+     [](uint64_t a, uint64_t b) { return a - b; }},
+    {"and", [](FunctionBuilder& f) { f.and_(2, 0, 1); },
+     [](uint64_t a, uint64_t b) { return a & b; }},
+    {"orr", [](FunctionBuilder& f) { f.orr(2, 0, 1); },
+     [](uint64_t a, uint64_t b) { return a | b; }},
+    {"eor", [](FunctionBuilder& f) { f.eor(2, 0, 1); },
+     [](uint64_t a, uint64_t b) { return a ^ b; }},
+    {"mul", [](FunctionBuilder& f) { f.mul(2, 0, 1); },
+     [](uint64_t a, uint64_t b) { return a * b; }},
+    {"udiv", [](FunctionBuilder& f) { f.udiv(2, 0, 1); },
+     [](uint64_t a, uint64_t b) { return b == 0 ? 0 : a / b; }},
+    {"lslv", [](FunctionBuilder& f) { f.lslv(2, 0, 1); },
+     [](uint64_t a, uint64_t b) { return a << (b & 63); }},
+    {"lsrv", [](FunctionBuilder& f) { f.lsrv(2, 0, 1); },
+     [](uint64_t a, uint64_t b) { return a >> (b & 63); }},
+};
+
+class AluProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AluProperty, MatchesHostSemantics) {
+  const AluCase& c = kAluCases[GetParam()];
+  Xoshiro256 rng(0xA10 + GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    uint64_t a = rng.next(), b = rng.next();
+    if (trial < 8) {  // edge operands
+      const uint64_t edges[] = {0, 1, ~uint64_t{0}, uint64_t{1} << 63};
+      a = edges[trial % 4];
+      b = edges[(trial / 4) % 4];
+    }
+    SimHarness sim;
+    FunctionBuilder f("t");
+    f.mov_imm(0, a);
+    f.mov_imm(1, b);
+    c.emit(f);
+    f.hlt(1);
+    sim.run(f);
+    ASSERT_EQ(sim.core.x(2), c.host(a, b))
+        << c.name << "(" << a << ", " << b << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, AluProperty,
+                         ::testing::Range<size_t>(0, std::size(kAluCases)),
+                         [](const auto& info) {
+                           return std::string(kAluCases[info.param].name);
+                         });
+
+TEST(FlagProperty, SubsConditionsMatchSignedComparisons) {
+  // For every pair, the B.cond outcome after CMP must match the host's
+  // signed/unsigned comparison of the operands.
+  Xoshiro256 rng(0xF1A6);
+  struct CondCase {
+    Cond cond;
+    bool (*host)(uint64_t, uint64_t);
+  };
+  const CondCase conds[] = {
+      {Cond::EQ, [](uint64_t a, uint64_t b) { return a == b; }},
+      {Cond::NE, [](uint64_t a, uint64_t b) { return a != b; }},
+      {Cond::HS, [](uint64_t a, uint64_t b) { return a >= b; }},
+      {Cond::LO, [](uint64_t a, uint64_t b) { return a < b; }},
+      {Cond::HI, [](uint64_t a, uint64_t b) { return a > b; }},
+      {Cond::LS, [](uint64_t a, uint64_t b) { return a <= b; }},
+      {Cond::GE,
+       [](uint64_t a, uint64_t b) {
+         return static_cast<int64_t>(a) >= static_cast<int64_t>(b);
+       }},
+      {Cond::LT,
+       [](uint64_t a, uint64_t b) {
+         return static_cast<int64_t>(a) < static_cast<int64_t>(b);
+       }},
+      {Cond::GT,
+       [](uint64_t a, uint64_t b) {
+         return static_cast<int64_t>(a) > static_cast<int64_t>(b);
+       }},
+      {Cond::LE,
+       [](uint64_t a, uint64_t b) {
+         return static_cast<int64_t>(a) <= static_cast<int64_t>(b);
+       }},
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    uint64_t a = rng.next(), b = rng.next();
+    if (trial % 5 == 0) b = a;                       // equality edge
+    if (trial % 7 == 0) a = uint64_t{1} << 63;       // sign edge
+    for (const auto& cc : conds) {
+      SimHarness sim;
+      FunctionBuilder f("t");
+      const auto taken = f.make_label();
+      f.mov_imm(0, a);
+      f.mov_imm(1, b);
+      f.cmp(0, 1);
+      f.b_cond(cc.cond, taken);
+      f.mov_imm(2, 0);
+      f.hlt(1);
+      f.bind(taken);
+      f.mov_imm(2, 1);
+      f.hlt(1);
+      sim.run(f);
+      ASSERT_EQ(sim.core.x(2) == 1, cc.host(a, b))
+          << "cond " << isa::cond_name(cc.cond) << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PAuth unit properties
+// ---------------------------------------------------------------------------
+
+class PauthProperty : public ::testing::Test {
+ protected:
+  mem::VaLayout layout;
+  cpu::PauthUnit unit{mem::VaLayout{}};
+  Xoshiro256 rng{0xBAC};
+
+  uint64_t random_kernel_ptr() {
+    return layout.canonical((uint64_t{1} << 55) | rng.next());
+  }
+  uint64_t random_user_ptr() { return rng.next() & mask(47); }
+  qarma::Key128 random_key() { return {rng.next(), rng.next()}; }
+};
+
+TEST_F(PauthProperty, SignAuthIdentity) {
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t ptr = i % 2 ? random_kernel_ptr() : random_user_ptr();
+    const uint64_t mod = rng.next();
+    const auto key = random_key();
+    const uint64_t s = unit.add_pac(ptr, mod, key);
+    const auto a = unit.auth(s, mod, key, PacKey::DB);
+    ASSERT_TRUE(a.ok) << hex(ptr);
+    ASSERT_EQ(a.ptr, layout.canonical(ptr));
+  }
+}
+
+TEST_F(PauthProperty, SignedPointerPreservesAddressBits) {
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t ptr = random_kernel_ptr();
+    const uint64_t s = unit.add_pac(ptr, rng.next(), random_key());
+    ASSERT_EQ(s & mask(layout.va_bits), ptr & mask(layout.va_bits));
+    ASSERT_EQ((s >> 55) & 1, (ptr >> 55) & 1) << "bit 55 must survive";
+  }
+}
+
+TEST_F(PauthProperty, WrongModifierPoisonsNonCanonical) {
+  int accepted = 0;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t ptr = random_kernel_ptr();
+    const auto key = random_key();
+    const uint64_t s = unit.add_pac(ptr, 1, key);
+    const auto a = unit.auth(s, 2, key, PacKey::DB);
+    if (a.ok) {
+      ++accepted;  // 2^-15 chance per trial
+      continue;
+    }
+    ASSERT_FALSE(layout.is_canonical(a.ptr)) << hex(a.ptr);
+  }
+  EXPECT_LE(accepted, 2);
+}
+
+TEST_F(PauthProperty, WrongKeyPoisons) {
+  int accepted = 0;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t ptr = random_kernel_ptr();
+    const uint64_t mod = rng.next();
+    const uint64_t s = unit.add_pac(ptr, mod, random_key());
+    accepted += unit.auth(s, mod, random_key(), PacKey::IB).ok;
+  }
+  EXPECT_LE(accepted, 2);
+}
+
+TEST_F(PauthProperty, StripIsIdempotentAndSignatureFree) {
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t ptr = random_kernel_ptr();
+    const uint64_t s = unit.add_pac(ptr, rng.next(), random_key());
+    const uint64_t x1 = unit.strip(s);
+    ASSERT_EQ(x1, ptr);
+    ASSERT_EQ(unit.strip(x1), x1);
+  }
+}
+
+TEST_F(PauthProperty, PacBitsWellDistributed) {
+  // Over random pointers, every PAC bit position must flip sometimes (no
+  // stuck-at bits in the scatter).
+  const auto key = random_key();
+  uint64_t ones = 0, zeros = 0;
+  const uint64_t m = layout.pac_mask(uint64_t{1} << 55);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t s = unit.add_pac(random_kernel_ptr(), rng.next(), key);
+    ones |= s & m;
+    zeros |= ~s & m;
+  }
+  EXPECT_EQ(ones, m);
+  EXPECT_EQ(zeros, m);
+}
+
+TEST_F(PauthProperty, UserPointerTagSurvivesUnderTbi) {
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t tagged = (rng.next() << 56) | random_user_ptr();
+    const uint64_t s = unit.add_pac(tagged, 7, random_key());
+    ASSERT_EQ(s >> 56, tagged >> 56) << "TBI tag byte must pass through";
+  }
+}
+
+TEST_F(PauthProperty, PacgaIsKeyAndInputSensitive) {
+  const auto k1 = random_key(), k2 = random_key();
+  const uint64_t a = unit.pacga(1, 2, k1);
+  EXPECT_NE(a, unit.pacga(1, 2, k2));
+  EXPECT_NE(a, unit.pacga(1, 3, k1));
+  EXPECT_NE(a, unit.pacga(2, 2, k1));
+  EXPECT_EQ(a & mask(32), 0u) << "low half must be zero";
+}
+
+// §6.3 compliance: the deliberate ISO-C breakage the paper documents.
+TEST_F(PauthProperty, MemcpyOfSignedPointerBreaksAsDocumented) {
+  // A signed pointer byte-copied into a different containing object fails
+  // authentication there (modifier embeds the object address).
+  const auto key = random_key();
+  const uint64_t obj_a = 0xFFFF000000180040ull;
+  const uint64_t obj_b = 0xFFFF000000190080ull;
+  const uint64_t target = 0xFFFF000000081000ull;
+  const uint64_t s =
+      unit.add_pac(target, core::object_modifier(obj_a, 7), key);
+  // "memcpy": the bit pattern moves unchanged to object B's slot.
+  const auto a = unit.auth(s, core::object_modifier(obj_b, 7), key, PacKey::DB);
+  EXPECT_FALSE(a.ok);
+}
+
+TEST_F(PauthProperty, NullPointerIsNotAllZeroBitsWhenSigned) {
+  // The paper (§6.3): "Null pointer values are represented by zero bits"
+  // does not hold — a signed NULL carries a PAC.
+  const uint64_t signed_null = unit.add_pac(0, 0x1234, random_key());
+  EXPECT_NE(signed_null, 0u);
+  EXPECT_EQ(unit.strip(signed_null), 0u);
+}
+
+}  // namespace
+}  // namespace camo

@@ -1,0 +1,288 @@
+// ISA tests: encode/decode round-trips for every format, field-range
+// validation, HINT-space classification, disassembly smoke checks.
+#include <gtest/gtest.h>
+
+#include "isa/isa.h"
+#include "support/error.h"
+
+namespace camo::isa {
+namespace {
+
+Inst mk(Op op) {
+  Inst i;
+  i.op = op;
+  return i;
+}
+
+void expect_roundtrip(const Inst& inst) {
+  const uint32_t word = encode(inst);
+  const Inst back = decode(word);
+  EXPECT_EQ(back, inst) << disasm(inst) << " | got " << disasm(back);
+}
+
+TEST(IsaEncode, MovwRoundTrip) {
+  for (Op op : {Op::MOVZ, Op::MOVK, Op::MOVN}) {
+    for (uint8_t hw : {0, 1, 2, 3}) {
+      Inst i = mk(op);
+      i.rd = 7;
+      i.imm = 0xBEEF;
+      i.hw = hw;
+      expect_roundtrip(i);
+    }
+  }
+}
+
+TEST(IsaEncode, R3RoundTrip) {
+  for (Op op : {Op::ADD, Op::SUB, Op::ADDS, Op::SUBS, Op::AND, Op::ORR,
+                Op::EOR, Op::MUL, Op::UDIV, Op::LSLV, Op::LSRV, Op::PACGA}) {
+    Inst i = mk(op);
+    i.rd = 1;
+    i.rn = 30;
+    i.rm = 31;
+    expect_roundtrip(i);
+  }
+}
+
+TEST(IsaEncode, ImmediateRoundTrip) {
+  for (Op op : {Op::ADDI, Op::SUBI, Op::ADDSI, Op::SUBSI, Op::ANDI, Op::ORRI,
+                Op::EORI}) {
+    for (int64_t imm : {int64_t{0}, int64_t{1}, int64_t{0xFFF}}) {
+      Inst i = mk(op);
+      i.rd = 3;
+      i.rn = 31;
+      i.imm = imm;
+      expect_roundtrip(i);
+    }
+  }
+}
+
+TEST(IsaEncode, ShiftAndBitfieldRoundTrip) {
+  for (Op op : {Op::LSLI, Op::LSRI, Op::ASRI}) {
+    Inst i = mk(op);
+    i.rd = 2;
+    i.rn = 3;
+    i.imm = 63;
+    expect_roundtrip(i);
+  }
+  Inst bfi = mk(Op::BFI);
+  bfi.rd = 16;
+  bfi.rn = 17;
+  bfi.lsb = 32;
+  bfi.width = 32;
+  expect_roundtrip(bfi);
+  Inst ubfx = mk(Op::UBFX);
+  ubfx.rd = 1;
+  ubfx.rn = 2;
+  ubfx.lsb = 0;
+  ubfx.width = 64;  // full-width extract (encodes as 0)
+  expect_roundtrip(ubfx);
+}
+
+TEST(IsaEncode, MemRoundTrip) {
+  Inst ldr = mk(Op::LDR);
+  ldr.rd = 8;
+  ldr.rn = 0;
+  ldr.imm = 40;  // the f_ops offset from Listing 4
+  expect_roundtrip(ldr);
+
+  Inst strb = mk(Op::STRB);
+  strb.rd = 1;
+  strb.rn = 31;
+  strb.imm = 4095;
+  expect_roundtrip(strb);
+
+  Inst bad = mk(Op::LDR);
+  bad.imm = 7;  // unscaled
+  EXPECT_THROW(encode(bad), Error);
+}
+
+TEST(IsaEncode, PairRoundTrip) {
+  for (Op op : {Op::LDP, Op::STP, Op::LDP_POST, Op::STP_PRE}) {
+    for (int64_t imm : {int64_t{-16}, int64_t{0}, int64_t{16}, int64_t{504},
+                        int64_t{-512}}) {
+      Inst i = mk(op);
+      i.rd = 29;
+      i.rm = 30;
+      i.rn = 31;
+      i.imm = imm;
+      expect_roundtrip(i);
+    }
+  }
+}
+
+TEST(IsaEncode, BranchRoundTrip) {
+  for (Op op : {Op::B, Op::BL}) {
+    for (int64_t imm : {int64_t{0}, int64_t{4}, int64_t{-4}, int64_t{1 << 20},
+                        int64_t{-(1 << 20)}}) {
+      Inst i = mk(op);
+      i.imm = imm;
+      expect_roundtrip(i);
+    }
+  }
+  for (Cond c : {Cond::EQ, Cond::NE, Cond::LT, Cond::GE, Cond::HI, Cond::AL}) {
+    Inst i = mk(Op::BCOND);
+    i.cond = c;
+    i.imm = -64;
+    expect_roundtrip(i);
+  }
+  for (Op op : {Op::CBZ, Op::CBNZ}) {
+    Inst i = mk(op);
+    i.rd = 9;
+    i.imm = 0x100;
+    expect_roundtrip(i);
+  }
+}
+
+TEST(IsaEncode, RegisterBranchRoundTrip) {
+  for (Op op : {Op::BR, Op::BLR, Op::RET, Op::BRAA, Op::BRAB, Op::BLRAA,
+                Op::BLRAB}) {
+    Inst i = mk(op);
+    i.rn = 8;
+    i.rm = 31;  // SP modifier for the PAuth forms
+    expect_roundtrip(i);
+  }
+  expect_roundtrip(mk(Op::RETAA));
+  expect_roundtrip(mk(Op::RETAB));
+}
+
+TEST(IsaEncode, SysRoundTrip) {
+  for (uint8_t r = 0; r < static_cast<uint8_t>(SysReg::kCount); ++r) {
+    Inst i = mk(Op::MRS);
+    i.rd = 5;
+    i.sysreg = static_cast<SysReg>(r);
+    expect_roundtrip(i);
+    i.op = Op::MSR;
+    expect_roundtrip(i);
+  }
+}
+
+TEST(IsaEncode, PacRoundTrip) {
+  for (Op op : {Op::PACIA, Op::PACIB, Op::PACDA, Op::PACDB, Op::AUTIA,
+                Op::AUTIB, Op::AUTDA, Op::AUTDB, Op::XPACI, Op::XPACD}) {
+    Inst i = mk(op);
+    i.rd = 30;
+    i.rn = 31;  // SP modifier
+    expect_roundtrip(i);
+  }
+}
+
+TEST(IsaEncode, NoOperandRoundTrip) {
+  for (Op op : {Op::ERET, Op::NOP, Op::ISB, Op::DAIFSET, Op::DAIFCLR,
+                Op::PACIASP, Op::AUTIASP, Op::PACIBSP, Op::AUTIBSP,
+                Op::PACIA1716, Op::PACIB1716, Op::AUTIA1716, Op::AUTIB1716,
+                Op::XPACLRI}) {
+    expect_roundtrip(mk(op));
+  }
+}
+
+TEST(IsaEncode, Imm16RoundTrip) {
+  for (Op op : {Op::SVC, Op::HVC, Op::BRK, Op::HLT}) {
+    Inst i = mk(op);
+    i.imm = 0xABCD;
+    expect_roundtrip(i);
+  }
+}
+
+TEST(IsaEncode, AdrRoundTrip) {
+  for (int64_t imm : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{262143},
+                      int64_t{-262144}}) {
+    Inst i = mk(Op::ADR);
+    i.rd = 16;
+    i.imm = imm;
+    expect_roundtrip(i);
+  }
+}
+
+TEST(IsaDecode, UnknownOpcodeIsInvalid) {
+  EXPECT_EQ(decode(0x00000000u).op, Op::Invalid);
+  EXPECT_EQ(decode(0xFF000000u).op, Op::Invalid);
+  // Sys with out-of-range sysreg field decodes to Invalid, not UB.
+  Inst i = mk(Op::MRS);
+  i.sysreg = SysReg::DAIF;
+  uint32_t w = encode(i);
+  w = (w & ~0x0000FF00u) | (0xEEu << 8);
+  EXPECT_EQ(decode(w).op, Op::Invalid);
+}
+
+TEST(IsaEncode, RangeChecks) {
+  Inst b = mk(Op::B);
+  b.imm = int64_t{1} << 30;
+  EXPECT_THROW(encode(b), Error);
+
+  Inst movw = mk(Op::MOVZ);
+  movw.imm = 0x10000;
+  EXPECT_THROW(encode(movw), Error);
+
+  Inst pair = mk(Op::STP);
+  pair.imm = 1024;  // > 63*8
+  EXPECT_THROW(encode(pair), Error);
+}
+
+TEST(IsaHintSpace, Classification) {
+  // The §5.5 compatibility story depends on exactly these being NOPs on
+  // pre-8.3 cores.
+  for (Op op : {Op::NOP, Op::PACIASP, Op::AUTIASP, Op::PACIBSP, Op::AUTIBSP,
+                Op::PACIA1716, Op::PACIB1716, Op::AUTIA1716, Op::AUTIB1716,
+                Op::XPACLRI})
+    EXPECT_TRUE(is_hint_space(op)) << op_name(op);
+  for (Op op : {Op::PACIA, Op::AUTIB, Op::RETAA, Op::BLRAB, Op::PACGA,
+                Op::LDR, Op::RET})
+    EXPECT_FALSE(is_hint_space(op)) << op_name(op);
+}
+
+TEST(IsaHintSpace, PauthClassification) {
+  EXPECT_TRUE(is_pauth(Op::PACIB));
+  EXPECT_TRUE(is_pauth(Op::RETAB));
+  EXPECT_TRUE(is_pauth(Op::PACIB1716));
+  EXPECT_FALSE(is_pauth(Op::MOVZ));
+  EXPECT_FALSE(is_pauth(Op::MSR));
+}
+
+TEST(IsaDisasm, Listing4Shape) {
+  // The exact sequence from the paper's Listing 4.
+  Inst ldr = mk(Op::LDR);
+  ldr.rd = 8;
+  ldr.rn = 0;
+  ldr.imm = 40;
+  EXPECT_EQ(disasm(ldr), "ldr x8, [x0, #40]");
+
+  Inst mov = mk(Op::MOVZ);
+  mov.rd = 9;
+  mov.imm = 0xFB45;
+  EXPECT_EQ(disasm(mov), "movz x9, #0xfb45, lsl #0");
+
+  Inst bfi = mk(Op::BFI);
+  bfi.rd = 9;
+  bfi.rn = 0;
+  bfi.lsb = 16;
+  bfi.width = 48;
+  EXPECT_EQ(disasm(bfi), "bfi x9, x0, #16, #48");
+
+  Inst aut = mk(Op::AUTDB);
+  aut.rd = 8;
+  aut.rn = 9;
+  EXPECT_EQ(disasm(aut), "autdb x8, x9");
+
+  Inst blr = mk(Op::BLR);
+  blr.rn = 8;
+  EXPECT_EQ(disasm(blr), "blr x8");
+}
+
+TEST(IsaDisasm, SpAndZrNames) {
+  EXPECT_EQ(reg_name(31, true), "sp");
+  EXPECT_EQ(reg_name(31, false), "xzr");
+  EXPECT_EQ(reg_name(29), "fp");
+  EXPECT_EQ(reg_name(30), "lr");
+  EXPECT_EQ(reg_name(0), "x0");
+}
+
+TEST(IsaDisasm, EveryOpHasName) {
+  for (size_t i = 1; i < static_cast<size_t>(Op::kCount); ++i) {
+    const Op op = static_cast<Op>(i);
+    EXPECT_NE(std::string(op_name(op)), "");
+    EXPECT_NE(std::string(op_name(op)), "<invalid>") << i;
+  }
+}
+
+}  // namespace
+}  // namespace camo::isa

@@ -1,0 +1,159 @@
+// ISA fuzz/property tests: encode/decode round-trips over randomly generated
+// valid instructions of every format, and total decode/disassembly safety
+// over arbitrary 32-bit words (the verifier and module loader decode
+// attacker-supplied words, so decode must be total).
+#include <gtest/gtest.h>
+
+#include "isa/isa.h"
+#include "support/rng.h"
+
+namespace camo::isa {
+namespace {
+
+/// Generate a random valid instruction for `op`.
+Inst random_inst(Op op, Xoshiro256& rng) {
+  Inst i;
+  i.op = op;
+  auto reg = [&] { return static_cast<uint8_t>(rng.next_below(32)); };
+  switch (format_of(op)) {
+    case Format::None:
+      break;
+    case Format::MovW:
+      i.rd = reg();
+      i.imm = static_cast<int64_t>(rng.next_below(0x10000));
+      i.hw = static_cast<uint8_t>(rng.next_below(4));
+      break;
+    case Format::R3:
+      i.rd = reg();
+      i.rn = reg();
+      i.rm = reg();
+      break;
+    case Format::RI:
+      i.rd = reg();
+      i.rn = reg();
+      i.imm = static_cast<int64_t>(rng.next_below(0x1000));
+      break;
+    case Format::Shift:
+      i.rd = reg();
+      i.rn = reg();
+      i.imm = static_cast<int64_t>(rng.next_below(64));
+      break;
+    case Format::BitF:
+      i.rd = reg();
+      i.rn = reg();
+      i.lsb = static_cast<uint8_t>(rng.next_below(64));
+      i.width = static_cast<uint8_t>(1 + rng.next_below(64u - i.lsb));
+      break;
+    case Format::Adr:
+      i.rd = reg();
+      i.imm = static_cast<int64_t>(rng.next_below(1 << 19)) - (1 << 18);
+      break;
+    case Format::Mem: {
+      const int scale = (op == Op::LDRB || op == Op::STRB) ? 1 : 8;
+      i.rd = reg();
+      i.rn = reg();
+      i.imm = static_cast<int64_t>(rng.next_below(0x1000)) * scale;
+      break;
+    }
+    case Format::MemP:
+      i.rd = reg();
+      i.rn = reg();
+      i.rm = reg();
+      i.imm = (static_cast<int64_t>(rng.next_below(128)) - 64) * 8;
+      break;
+    case Format::Branch:
+      i.imm = (static_cast<int64_t>(rng.next_below(1 << 24)) - (1 << 23)) * 4;
+      break;
+    case Format::BCond: {
+      static constexpr Cond conds[] = {Cond::EQ, Cond::NE, Cond::HS, Cond::LO,
+                                       Cond::MI, Cond::PL, Cond::HI, Cond::LS,
+                                       Cond::GE, Cond::LT, Cond::GT, Cond::LE,
+                                       Cond::AL};
+      i.cond = conds[rng.next_below(std::size(conds))];
+      i.imm = (static_cast<int64_t>(rng.next_below(1 << 18)) - (1 << 17)) * 4;
+      break;
+    }
+    case Format::CmpBr:
+      i.rd = reg();
+      i.imm = (static_cast<int64_t>(rng.next_below(1 << 19)) - (1 << 18)) * 4;
+      break;
+    case Format::BReg:
+      i.rn = reg();
+      i.rm = reg();
+      break;
+    case Format::Sys:
+      i.rd = reg();
+      i.sysreg = static_cast<SysReg>(
+          rng.next_below(static_cast<uint64_t>(SysReg::kCount)));
+      break;
+    case Format::Pac:
+      i.rd = reg();
+      i.rn = reg();
+      break;
+    case Format::Imm16:
+      i.imm = static_cast<int64_t>(rng.next_below(0x10000));
+      break;
+  }
+  return i;
+}
+
+TEST(IsaFuzz, RoundTripEveryOpcodeManyTimes) {
+  Xoshiro256 rng(0xF0221);
+  for (size_t opnum = 1; opnum < static_cast<size_t>(Op::kCount); ++opnum) {
+    const Op op = static_cast<Op>(opnum);
+    for (int trial = 0; trial < 200; ++trial) {
+      const Inst inst = random_inst(op, rng);
+      uint32_t word = 0;
+      ASSERT_NO_THROW(word = encode(inst)) << disasm(inst);
+      const Inst back = decode(word);
+      ASSERT_EQ(back, inst) << op_name(op) << " trial " << trial << "\n  in:  "
+                            << disasm(inst) << "\n  out: " << disasm(back);
+    }
+  }
+}
+
+TEST(IsaFuzz, DecodeIsTotalOverRandomWords) {
+  // Arbitrary words must decode (possibly to Invalid) and disassemble
+  // without crashing — the §4.1 verifier scans untrusted module bytes.
+  Xoshiro256 rng(0xDEC0DE);
+  for (int trial = 0; trial < 200000; ++trial) {
+    const uint32_t word = static_cast<uint32_t>(rng.next());
+    const Inst inst = decode(word);
+    if (inst.op != Op::Invalid) {
+      // Whatever decodes must re-encode into a decodable word (not
+      // necessarily bit-identical: unused fields are normalized away).
+      const Inst again = decode(encode(inst));
+      EXPECT_EQ(again, inst) << disasm(inst);
+    }
+    (void)disasm(inst, 0x1000);
+  }
+}
+
+TEST(IsaFuzz, EncodeNormalizesUnusedFields) {
+  // Fields outside an op's format never survive an encode/decode cycle —
+  // required for the verifier's pattern matching to be exact.
+  Inst i;
+  i.op = Op::NOP;
+  i.rd = 7;
+  i.rn = 8;
+  i.imm = 99;  // all ignored by Format::None
+  const Inst back = decode(encode(i));
+  EXPECT_EQ(back.rd, 0);
+  EXPECT_EQ(back.rn, 0);
+  EXPECT_EQ(back.imm, 0);
+}
+
+TEST(IsaFuzz, AllOpcodesHaveDistinctEncodings) {
+  std::vector<uint32_t> seen;
+  for (size_t opnum = 1; opnum < static_cast<size_t>(Op::kCount); ++opnum) {
+    Inst i;
+    i.op = static_cast<Op>(opnum);
+    if (format_of(i.op) == Format::BitF) i.width = 1;
+    seen.push_back(encode(i) >> 24);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+}  // namespace
+}  // namespace camo::isa

@@ -1,0 +1,235 @@
+// Memory subsystem tests: VA layout (paper Tables 1-2, Appendix A), stage-1
+// translation and permissions, stage-2 overlay (XOM), physical memory.
+#include <gtest/gtest.h>
+
+#include "mem/mmu.h"
+#include "mem/phys.h"
+#include "mem/valayout.h"
+#include "support/error.h"
+
+namespace camo::mem {
+namespace {
+
+constexpr uint64_t kKernBase = 0xFFFF000000080000ull;
+constexpr uint64_t kUserBase = 0x0000000000400000ull;
+
+TEST(Phys, ReadWriteWidths) {
+  PhysicalMemory pm(0x10000);
+  pm.write64(0x100, 0x1122334455667788ull);
+  EXPECT_EQ(pm.read64(0x100), 0x1122334455667788ull);
+  EXPECT_EQ(pm.read32(0x100), 0x55667788u);
+  EXPECT_EQ(pm.read8(0x107), 0x11u);
+  pm.write8(0x100, 0xAA);
+  EXPECT_EQ(pm.read64(0x100), 0x11223344556677AAull);
+}
+
+TEST(Phys, OutOfRangeThrows) {
+  PhysicalMemory pm(0x1000);
+  EXPECT_THROW(pm.read64(0x0FFD), camo::Error);
+  EXPECT_THROW(pm.write8(0x1000, 1), camo::Error);
+  EXPECT_NO_THROW(pm.read64(0x0FF8));
+}
+
+TEST(Phys, BlockOps) {
+  PhysicalMemory pm(0x1000);
+  const char data[] = "camouflage";
+  pm.write_block(0x10, data, sizeof data);
+  char out[sizeof data];
+  pm.read_block(0x10, out, sizeof data);
+  EXPECT_STREQ(out, "camouflage");
+  pm.fill(0x10, 0, sizeof data);
+  EXPECT_EQ(pm.read8(0x10), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// VaLayout
+// ---------------------------------------------------------------------------
+
+TEST(VaLayout, KernelHalfSelection) {
+  EXPECT_TRUE(VaLayout::is_kernel_va(0xFFFF000000000000ull));
+  EXPECT_FALSE(VaLayout::is_kernel_va(0x0000FFFFFFFFFFFFull));
+  // Bit 55 is the selector even with a tag byte present.
+  EXPECT_TRUE(VaLayout::is_kernel_va(uint64_t{1} << 55));
+}
+
+TEST(VaLayout, PacWidthMatchesPaper) {
+  // §5.4: "with typical Linux page and virtual address configurations the
+  // space remaining for the PACs is 15 bits" (kernel, TBI off). User space
+  // with TBI gets 7 bits.
+  VaLayout l;
+  EXPECT_EQ(l.pac_width(kKernBase), 15u);
+  EXPECT_EQ(l.pac_width(kUserBase), 7u);
+}
+
+TEST(VaLayout, PacWidthScalesWithVaBits) {
+  // Appendix B: PACs can have up to 31 bits with small VA spaces.
+  VaLayout l;
+  l.va_bits = 32;
+  l.tbi_kernel = false;
+  EXPECT_EQ(l.pac_width(kKernBase), 31u);
+  l.va_bits = 39;
+  EXPECT_EQ(l.pac_width(kKernBase), 24u);
+}
+
+TEST(VaLayout, PacMaskExcludesBit55) {
+  VaLayout l;
+  EXPECT_FALSE(l.pac_mask(kKernBase) & (uint64_t{1} << 55));
+  EXPECT_FALSE(l.pac_mask(kUserBase) & (uint64_t{1} << 55));
+  // Kernel mask covers the top byte (TBI off), user mask does not.
+  EXPECT_TRUE(l.pac_mask(kKernBase) & (uint64_t{1} << 63));
+  EXPECT_FALSE(l.pac_mask(kUserBase) & (uint64_t{1} << 63));
+}
+
+TEST(VaLayout, Canonical) {
+  VaLayout l;
+  EXPECT_TRUE(l.is_canonical(kKernBase));
+  EXPECT_TRUE(l.is_canonical(kUserBase));
+  EXPECT_FALSE(l.is_canonical(kKernBase & ~(uint64_t{1} << 62)));
+  // User pointers with a tag byte are canonical under TBI...
+  EXPECT_TRUE(l.is_canonical(0xAB00000000400000ull));
+  // ...but garbage in bits 54:48 is not.
+  EXPECT_FALSE(l.is_canonical(0x0001000000400000ull));
+  EXPECT_EQ(l.canonical(kKernBase ^ (uint64_t{1} << 60)), kKernBase);
+}
+
+TEST(VaLayout, TablesRender) {
+  VaLayout l;
+  const std::string t1 = l.render_table1();
+  EXPECT_NE(t1.find("0xffff000000000000"), std::string::npos);
+  EXPECT_NE(t1.find("Kernel"), std::string::npos);
+  EXPECT_NE(t1.find("Invalid"), std::string::npos);
+  const std::string t2 = l.render_table2();
+  EXPECT_NE(t2.find("user="), std::string::npos);
+  EXPECT_NE(t2.find("kernel=15"), std::string::npos);
+  EXPECT_NE(t2.find("tttttttt"), std::string::npos);  // user tag byte
+}
+
+// ---------------------------------------------------------------------------
+// Translation
+// ---------------------------------------------------------------------------
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest() : pm(1 << 20), mmu(pm, VaLayout{}) {
+    kmap.map_range(kKernBase, 0x10000, 0x3000, PagePerms::kernel_rw());
+    kmap.map_range(kKernBase + 0x3000, 0x13000, 0x1000,
+                   PagePerms::kernel_text());
+    umap.map_range(kUserBase, 0x20000, 0x2000, PagePerms::user_rw());
+    umap.map_range(kUserBase + 0x2000, 0x22000, 0x1000, PagePerms::user_text());
+    mmu.set_kernel_map(&kmap);
+    mmu.set_user_map(&umap);
+  }
+  PhysicalMemory pm;
+  Stage1Map kmap, umap;
+  Stage2Map s2;
+  Mmu mmu;
+};
+
+TEST_F(MmuTest, BasicTranslation) {
+  const auto r = mmu.translate(kKernBase + 0x1234, Access::Read, El::El1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.pa, 0x11234u);
+}
+
+TEST_F(MmuTest, UnmappedFaults) {
+  const auto r = mmu.translate(kKernBase + 0x100000, Access::Read, El::El1);
+  EXPECT_EQ(r.fault, FaultKind::Translation);
+}
+
+TEST_F(MmuTest, NonCanonicalAddressSizeFault) {
+  const auto r =
+      mmu.translate(kKernBase & ~(uint64_t{1} << 60), Access::Read, El::El1);
+  EXPECT_EQ(r.fault, FaultKind::AddressSize);
+}
+
+TEST_F(MmuTest, KernelRwNotExecutable) {
+  EXPECT_TRUE(mmu.translate(kKernBase, Access::Write, El::El1).ok());
+  EXPECT_EQ(mmu.translate(kKernBase, Access::Fetch, El::El1).fault,
+            FaultKind::Permission);
+}
+
+TEST_F(MmuTest, KernelTextNotWritable) {
+  const uint64_t text = kKernBase + 0x3000;
+  EXPECT_TRUE(mmu.translate(text, Access::Fetch, El::El1).ok());
+  EXPECT_TRUE(mmu.translate(text, Access::Read, El::El1).ok());
+  EXPECT_EQ(mmu.translate(text, Access::Write, El::El1).fault,
+            FaultKind::Permission);
+}
+
+TEST_F(MmuTest, UserCannotTouchKernel) {
+  EXPECT_EQ(mmu.translate(kKernBase, Access::Read, El::El0).fault,
+            FaultKind::Permission);
+  EXPECT_EQ(mmu.translate(kKernBase + 0x3000, Access::Fetch, El::El0).fault,
+            FaultKind::Permission);
+}
+
+TEST_F(MmuTest, KernelCanReadUserButNotExecute) {
+  // PXN semantics: kernel must never fetch from user-executable pages.
+  EXPECT_TRUE(mmu.translate(kUserBase, Access::Read, El::El1).ok());
+  EXPECT_TRUE(mmu.translate(kUserBase, Access::Write, El::El1).ok());
+  EXPECT_EQ(mmu.translate(kUserBase + 0x2000, Access::Fetch, El::El1).fault,
+            FaultKind::Permission);
+}
+
+TEST_F(MmuTest, TbiTagIgnoredForUserTranslation) {
+  const uint64_t tagged = 0xAB00000000400010ull;
+  const auto r = mmu.translate(tagged, Access::Read, El::El0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.pa, 0x20010u);
+}
+
+TEST_F(MmuTest, Stage2XomBlocksReadAllowsFetch) {
+  // The heart of the key-concealment design (§5.1 / Appendix A.2): stage-2
+  // removes the read permission that stage-1 EL1 mappings imply.
+  kmap.map_range(kKernBase + 0x4000, 0x14000, 0x1000,
+                 PagePerms::kernel_text());
+  s2.restrict_range(0x14000, 0x1000, Stage2Map::xom());
+  mmu.set_stage2(&s2);
+
+  const uint64_t xom = kKernBase + 0x4000;
+  EXPECT_TRUE(mmu.translate(xom, Access::Fetch, El::El1).ok());
+  EXPECT_EQ(mmu.translate(xom, Access::Read, El::El1).fault, FaultKind::Stage2);
+  EXPECT_EQ(mmu.translate(xom, Access::Write, El::El1).fault,
+            FaultKind::Permission);  // stage-1 already denies writes
+}
+
+TEST_F(MmuTest, Stage2DoesNotApplyToHypervisor) {
+  s2.restrict_range(0x10000, 0x1000, Stage2Map::xom());
+  mmu.set_stage2(&s2);
+  EXPECT_TRUE(mmu.translate(kKernBase, Access::Read, El::El2).ok());
+  EXPECT_EQ(mmu.translate(kKernBase, Access::Read, El::El1).fault,
+            FaultKind::Stage2);
+}
+
+TEST_F(MmuTest, Stage2ReadOnlyLocksData) {
+  s2.restrict_range(0x10000, 0x1000, Stage2Map::read_only());
+  mmu.set_stage2(&s2);
+  EXPECT_TRUE(mmu.translate(kKernBase, Access::Read, El::El1).ok());
+  EXPECT_EQ(mmu.translate(kKernBase, Access::Write, El::El1).fault,
+            FaultKind::Stage2);
+}
+
+TEST_F(MmuTest, AccessorHelpers) {
+  ASSERT_EQ(mmu.write64(kKernBase + 8, 0xCAFE, El::El1), FaultKind::None);
+  const auto r = mmu.read64(kKernBase + 8, El::El1);
+  EXPECT_EQ(r.fault, FaultKind::None);
+  EXPECT_EQ(r.value, 0xCAFEu);
+  EXPECT_EQ(mmu.read64(kKernBase + 0x100000, El::El1).fault,
+            FaultKind::Translation);
+}
+
+TEST_F(MmuTest, ProtectRangeChangesPerms) {
+  kmap.protect_range(kKernBase, 0x1000, PagePerms::kernel_ro());
+  EXPECT_EQ(mmu.translate(kKernBase, Access::Write, El::El1).fault,
+            FaultKind::Permission);
+  EXPECT_TRUE(mmu.translate(kKernBase, Access::Read, El::El1).ok());
+}
+
+TEST(Stage1Map, UnalignedMapThrows) {
+  Stage1Map m;
+  EXPECT_THROW(m.map_range(0x1001, 0x2000, 0x1000, PagePerms::kernel_rw()),
+               camo::Error);
+}
+
+}  // namespace
+}  // namespace camo::mem

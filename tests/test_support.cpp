@@ -1,0 +1,94 @@
+// Unit tests for the support utilities (bits, PRNG, formatting).
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/format.h"
+#include "support/rng.h"
+
+namespace camo {
+namespace {
+
+TEST(Bits, MaskWidths) {
+  EXPECT_EQ(mask(0), 0u);
+  EXPECT_EQ(mask(1), 1u);
+  EXPECT_EQ(mask(16), 0xFFFFu);
+  EXPECT_EQ(mask(63), 0x7FFFFFFFFFFFFFFFu);
+  EXPECT_EQ(mask(64), ~uint64_t{0});
+}
+
+TEST(Bits, ExtractInsertRoundTrip) {
+  const uint64_t v = 0x0123456789ABCDEFull;
+  for (unsigned lsb : {0u, 4u, 16u, 48u, 55u}) {
+    for (unsigned w : {1u, 4u, 8u}) {
+      const uint64_t field = bits(v, lsb, w);
+      EXPECT_EQ(insert_bits(v, lsb, w, field), v) << lsb << " " << w;
+    }
+  }
+}
+
+TEST(Bits, InsertReplacesOnlyField) {
+  EXPECT_EQ(insert_bits(0, 8, 8, 0xAB), 0xAB00u);
+  EXPECT_EQ(insert_bits(~uint64_t{0}, 0, 16, 0), 0xFFFFFFFFFFFF0000u);
+  // Excess field bits must be truncated, not smeared.
+  EXPECT_EQ(insert_bits(0, 4, 4, 0xFF), 0xF0u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x7F, 8), 0x7F);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x8000000000000000ull, 64),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(Bits, Rotations) {
+  EXPECT_EQ(ror64(1, 1), uint64_t{1} << 63);
+  EXPECT_EQ(ror64(0xF, 4), 0xF000000000000000u);
+  EXPECT_EQ(rol64(ror64(0xDEADBEEF, 13), 13), 0xDEADBEEFu);
+  EXPECT_EQ(ror64(0x1234, 0), 0x1234u);
+}
+
+TEST(Bits, Alignment) {
+  EXPECT_TRUE(is_aligned(0x1000, 0x1000));
+  EXPECT_FALSE(is_aligned(0x1001, 0x1000));
+  EXPECT_EQ(align_up(0x1001, 0x1000), 0x2000u);
+  EXPECT_EQ(align_up(0x1000, 0x1000), 0x1000u);
+  EXPECT_EQ(align_down(0x1FFF, 0x1000), 0x1000u);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowBound) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, SplitMixKnownFirstValue) {
+  // First output for seed 0 is a well-known SplitMix64 value.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFull);
+}
+
+TEST(Format, Hex) {
+  EXPECT_EQ(hex(0xDEAD, 8), "0x0000dead");
+  EXPECT_EQ(hex_short(0), "0x0");
+  EXPECT_EQ(hex(~uint64_t{0}), "0xffffffffffffffff");
+}
+
+TEST(Format, Strformat) {
+  EXPECT_EQ(strformat("%s-%d", "x", 7), "x-7");
+  EXPECT_EQ(strformat("%04x", 0xAB), "00ab");
+}
+
+}  // namespace
+}  // namespace camo
