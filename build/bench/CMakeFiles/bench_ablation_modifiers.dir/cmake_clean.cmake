@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modifiers.dir/bench_ablation_modifiers.cpp.o"
+  "CMakeFiles/bench_ablation_modifiers.dir/bench_ablation_modifiers.cpp.o.d"
+  "bench_ablation_modifiers"
+  "bench_ablation_modifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lmbench.dir/bench_fig3_lmbench.cpp.o"
+  "CMakeFiles/bench_fig3_lmbench.dir/bench_fig3_lmbench.cpp.o.d"
+  "bench_fig3_lmbench"
+  "bench_fig3_lmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

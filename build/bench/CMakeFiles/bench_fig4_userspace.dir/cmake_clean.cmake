@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_userspace.dir/bench_fig4_userspace.cpp.o"
+  "CMakeFiles/bench_fig4_userspace.dir/bench_fig4_userspace.cpp.o.d"
+  "bench_fig4_userspace"
+  "bench_fig4_userspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_userspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

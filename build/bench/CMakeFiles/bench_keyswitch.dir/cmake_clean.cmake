@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keyswitch.dir/bench_keyswitch.cpp.o"
+  "CMakeFiles/bench_keyswitch.dir/bench_keyswitch.cpp.o.d"
+  "bench_keyswitch"
+  "bench_keyswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keyswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qarma.dir/bench_qarma.cpp.o"
+  "CMakeFiles/bench_qarma.dir/bench_qarma.cpp.o.d"
+  "bench_qarma"
+  "bench_qarma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qarma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

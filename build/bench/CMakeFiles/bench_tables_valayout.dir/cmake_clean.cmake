@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables_valayout.dir/bench_tables_valayout.cpp.o"
+  "CMakeFiles/bench_tables_valayout.dir/bench_tables_valayout.cpp.o.d"
+  "bench_tables_valayout"
+  "bench_tables_valayout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_valayout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banked_keys_future.dir/banked_keys_future.cpp.o"
+  "CMakeFiles/banked_keys_future.dir/banked_keys_future.cpp.o.d"
+  "banked_keys_future"
+  "banked_keys_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banked_keys_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for banked_keys_future.
+# This may be replaced when dependencies are built.

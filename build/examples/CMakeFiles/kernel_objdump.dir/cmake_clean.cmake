@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_objdump.dir/kernel_objdump.cpp.o"
+  "CMakeFiles/kernel_objdump.dir/kernel_objdump.cpp.o.d"
+  "kernel_objdump"
+  "kernel_objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_verification.dir/module_verification.cpp.o"
+  "CMakeFiles/module_verification.dir/module_verification.cpp.o.d"
+  "module_verification"
+  "module_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

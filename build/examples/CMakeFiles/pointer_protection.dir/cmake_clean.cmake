@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_protection.dir/pointer_protection.cpp.o"
+  "CMakeFiles/pointer_protection.dir/pointer_protection.cpp.o.d"
+  "pointer_protection"
+  "pointer_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rop_attack_demo.cpp" "examples/CMakeFiles/rop_attack_demo.dir/rop_attack_demo.cpp.o" "gcc" "examples/CMakeFiles/rop_attack_demo.dir/rop_attack_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/camo_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_hyp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_qarma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

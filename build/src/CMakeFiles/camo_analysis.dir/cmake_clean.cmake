@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_analysis.dir/analysis/census.cpp.o"
+  "CMakeFiles/camo_analysis.dir/analysis/census.cpp.o.d"
+  "CMakeFiles/camo_analysis.dir/analysis/verifier.cpp.o"
+  "CMakeFiles/camo_analysis.dir/analysis/verifier.cpp.o.d"
+  "libcamo_analysis.a"
+  "libcamo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

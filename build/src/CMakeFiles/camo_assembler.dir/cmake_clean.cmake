@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_assembler.dir/assembler/builder.cpp.o"
+  "CMakeFiles/camo_assembler.dir/assembler/builder.cpp.o.d"
+  "libcamo_assembler.a"
+  "libcamo_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

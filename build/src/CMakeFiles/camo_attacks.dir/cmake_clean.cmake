@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_attacks.dir/attacks/attacks.cpp.o"
+  "CMakeFiles/camo_attacks.dir/attacks/attacks.cpp.o.d"
+  "libcamo_attacks.a"
+  "libcamo_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_compiler.dir/compiler/instrument.cpp.o"
+  "CMakeFiles/camo_compiler.dir/compiler/instrument.cpp.o.d"
+  "libcamo_compiler.a"
+  "libcamo_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

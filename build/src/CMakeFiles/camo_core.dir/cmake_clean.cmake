@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_core.dir/core/bootloader.cpp.o"
+  "CMakeFiles/camo_core.dir/core/bootloader.cpp.o.d"
+  "CMakeFiles/camo_core.dir/core/keys.cpp.o"
+  "CMakeFiles/camo_core.dir/core/keys.cpp.o.d"
+  "CMakeFiles/camo_core.dir/core/keysetter.cpp.o"
+  "CMakeFiles/camo_core.dir/core/keysetter.cpp.o.d"
+  "libcamo_core.a"
+  "libcamo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

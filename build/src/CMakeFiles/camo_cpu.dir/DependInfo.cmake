@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu.cpp" "src/CMakeFiles/camo_cpu.dir/cpu/cpu.cpp.o" "gcc" "src/CMakeFiles/camo_cpu.dir/cpu/cpu.cpp.o.d"
+  "/root/repo/src/cpu/pauth.cpp" "src/CMakeFiles/camo_cpu.dir/cpu/pauth.cpp.o" "gcc" "src/CMakeFiles/camo_cpu.dir/cpu/pauth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/camo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_qarma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_cpu.dir/cpu/cpu.cpp.o"
+  "CMakeFiles/camo_cpu.dir/cpu/cpu.cpp.o.d"
+  "CMakeFiles/camo_cpu.dir/cpu/pauth.cpp.o"
+  "CMakeFiles/camo_cpu.dir/cpu/pauth.cpp.o.d"
+  "libcamo_cpu.a"
+  "libcamo_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

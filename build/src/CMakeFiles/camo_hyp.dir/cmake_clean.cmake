@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_hyp.dir/hyp/hypervisor.cpp.o"
+  "CMakeFiles/camo_hyp.dir/hyp/hypervisor.cpp.o.d"
+  "libcamo_hyp.a"
+  "libcamo_hyp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_hyp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for camo_hyp.
+# This may be replaced when dependencies are built.

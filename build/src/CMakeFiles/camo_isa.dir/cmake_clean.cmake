@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_isa.dir/isa/isa.cpp.o"
+  "CMakeFiles/camo_isa.dir/isa/isa.cpp.o.d"
+  "libcamo_isa.a"
+  "libcamo_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_kernel.dir/kernel/kernel_builder.cpp.o"
+  "CMakeFiles/camo_kernel.dir/kernel/kernel_builder.cpp.o.d"
+  "CMakeFiles/camo_kernel.dir/kernel/machine.cpp.o"
+  "CMakeFiles/camo_kernel.dir/kernel/machine.cpp.o.d"
+  "CMakeFiles/camo_kernel.dir/kernel/workloads.cpp.o"
+  "CMakeFiles/camo_kernel.dir/kernel/workloads.cpp.o.d"
+  "libcamo_kernel.a"
+  "libcamo_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

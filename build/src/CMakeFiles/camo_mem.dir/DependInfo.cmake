@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/mmu.cpp" "src/CMakeFiles/camo_mem.dir/mem/mmu.cpp.o" "gcc" "src/CMakeFiles/camo_mem.dir/mem/mmu.cpp.o.d"
+  "/root/repo/src/mem/phys.cpp" "src/CMakeFiles/camo_mem.dir/mem/phys.cpp.o" "gcc" "src/CMakeFiles/camo_mem.dir/mem/phys.cpp.o.d"
+  "/root/repo/src/mem/valayout.cpp" "src/CMakeFiles/camo_mem.dir/mem/valayout.cpp.o" "gcc" "src/CMakeFiles/camo_mem.dir/mem/valayout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/camo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_mem.dir/mem/mmu.cpp.o"
+  "CMakeFiles/camo_mem.dir/mem/mmu.cpp.o.d"
+  "CMakeFiles/camo_mem.dir/mem/phys.cpp.o"
+  "CMakeFiles/camo_mem.dir/mem/phys.cpp.o.d"
+  "CMakeFiles/camo_mem.dir/mem/valayout.cpp.o"
+  "CMakeFiles/camo_mem.dir/mem/valayout.cpp.o.d"
+  "libcamo_mem.a"
+  "libcamo_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

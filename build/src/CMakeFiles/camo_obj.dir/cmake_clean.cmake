@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_obj.dir/obj/object.cpp.o"
+  "CMakeFiles/camo_obj.dir/obj/object.cpp.o.d"
+  "libcamo_obj.a"
+  "libcamo_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

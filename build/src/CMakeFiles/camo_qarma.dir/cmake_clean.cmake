@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_qarma.dir/qarma/qarma64.cpp.o"
+  "CMakeFiles/camo_qarma.dir/qarma/qarma64.cpp.o.d"
+  "libcamo_qarma.a"
+  "libcamo_qarma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_qarma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

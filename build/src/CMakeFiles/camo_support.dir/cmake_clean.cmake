@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_support.dir/support/format.cpp.o"
+  "CMakeFiles/camo_support.dir/support/format.cpp.o.d"
+  "libcamo_support.a"
+  "libcamo_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/camo_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/camo_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/camo_tests.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_attacks.cpp.o.d"
+  "/root/repo/tests/test_census.cpp" "tests/CMakeFiles/camo_tests.dir/test_census.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_census.cpp.o.d"
+  "/root/repo/tests/test_compiler.cpp" "tests/CMakeFiles/camo_tests.dir/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_compiler.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/camo_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_cpu.cpp" "tests/CMakeFiles/camo_tests.dir/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_cpu.cpp.o.d"
+  "/root/repo/tests/test_cpu_props.cpp" "tests/CMakeFiles/camo_tests.dir/test_cpu_props.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_cpu_props.cpp.o.d"
+  "/root/repo/tests/test_hyp.cpp" "tests/CMakeFiles/camo_tests.dir/test_hyp.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_hyp.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/camo_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_isa_fuzz.cpp" "tests/CMakeFiles/camo_tests.dir/test_isa_fuzz.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_isa_fuzz.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/camo_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/camo_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_obj.cpp" "tests/CMakeFiles/camo_tests.dir/test_obj.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_obj.cpp.o.d"
+  "/root/repo/tests/test_qarma.cpp" "tests/CMakeFiles/camo_tests.dir/test_qarma.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_qarma.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/camo_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/camo_tests.dir/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/camo_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_hyp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_qarma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/camo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
