@@ -45,9 +45,9 @@ uint64_t modifier(BackwardScheme s, const Context& c) {
 
 }  // namespace
 
-int main() {
-  bench::print_header(
-      "Ablation", "modifier replay-collision rates (§4.2, §7)",
+int main(int argc, char** argv) {
+  bench::Session session(
+      argc, argv, "Ablation", "modifier replay-collision rates (§4.2, §7)",
       "SP-only repeats within/between calls; PARTS' 16-bit SP repeats "
       "across 64 KiB-strided thread stacks; Camouflage binds SP32 + fn32");
 
@@ -90,6 +90,12 @@ int main() {
                 compiler::backward_scheme_name(s), buckets.size(),
                 static_cast<unsigned long long>(pairs),
                 static_cast<unsigned long long>(cross));
+    const char* cfg = compiler::backward_scheme_name(s);
+    session.add(cfg, "distinct modifiers",
+                static_cast<double>(buckets.size()), "modifiers");
+    session.add(cfg, "colliding pairs", static_cast<double>(pairs), "pairs");
+    session.add(cfg, "cross-thread colliding pairs",
+                static_cast<double>(cross), "pairs");
   }
 
   std::printf(
@@ -106,5 +112,5 @@ int main() {
       "single modifier — any signed pointer replays anywhere; the live "
       "cross-object swap attack confirms it (see bench_security_matrix).\n",
       contexts.size());
-  return 0;
+  return session.finish();
 }

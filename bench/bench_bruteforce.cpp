@@ -6,15 +6,17 @@
 // expected guessing work across VA configurations.
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "attacks/attacks.h"
 #include "bench_util.h"
 #include "mem/valayout.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace camo;  // NOLINT
-  bench::print_header(
-      "Section 5.4", "PAC brute-force mitigation",
+  bench::Session s(
+      argc, argv, "Section 5.4", "PAC brute-force mitigation",
       "success probability 2^-pac_size per guess; kernel halts after a "
       "bounded number of consecutive PAuth failures");
 
@@ -27,13 +29,18 @@ int main() {
     const unsigned w = l.pac_width(uint64_t{1} << 55);
     std::printf("  %8u %10u %16.2e %22.0f\n", va_bits, w, std::pow(2.0, -double(w)),
                 std::pow(2.0, double(w)) - 1);
+    s.add("va" + std::to_string(va_bits), "expected guesses",
+          std::pow(2.0, double(w)) - 1, "tries");
   }
 
   std::printf("\nmeasured: forged-PAC syscall storm against the hook pointer "
               "(one attacking process per guess, full protection):\n");
   std::printf("  %10s %12s %14s %12s\n", "threshold", "attempts", "halt",
               "pac_failures");
-  for (const unsigned threshold : {2u, 4u, 8u, 16u}) {
+  const std::vector<unsigned> thresholds =
+      s.smoke() ? std::vector<unsigned>{2u, 4u}
+                : std::vector<unsigned>{2u, 4u, 8u, 16u};
+  for (const unsigned threshold : thresholds) {
     const auto r =
         attacks::run_bruteforce(compiler::ProtectionConfig::full(), threshold,
                                 threshold + 8);
@@ -42,9 +49,14 @@ int main() {
                 r.halt_code == kernel::kHaltPacPanic ? "PANIC (§5.4)"
                                                      : "other",
                 static_cast<unsigned long long>(r.pac_failures));
+    const std::string cfg = "threshold" + std::to_string(threshold);
+    s.add(cfg, "attempts before panic", static_cast<double>(r.attempts),
+          "tries");
+    s.add(cfg, "pac failures", static_cast<double>(r.pac_failures),
+          "failures");
   }
   std::printf("\nshape check: the system always halts after exactly "
               "`threshold` failures — the attacker gets nowhere near the "
               "2^15 guesses a 15-bit PAC would otherwise need on average.\n");
-  return 0;
+  return s.finish();
 }

@@ -13,10 +13,10 @@
 #include "analysis/census.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace camo::analysis;  // NOLINT
-  camo::bench::print_header(
-      "Section 5.3", "function-pointer census (Coccinelle-style)",
+  camo::bench::Session session(
+      argc, argv, "Section 5.3", "function-pointer census (Coccinelle-style)",
       "1285 run-time-assigned fn-ptr members in 504 types; 229 types with "
       ">1 (convert to const ops structures)");
 
@@ -38,6 +38,12 @@ int main() {
   std::printf("%-46s %10s %10u\n", "data-pointer members (DFI candidates)",
               "-", r.data_ptr_members);
   std::printf("\n%s\n", r.summary().c_str());
+  session.add("calibrated", "runtime-assigned fn-ptr members",
+              r.runtime_assigned_members, "members");
+  session.add("calibrated", "compound types containing them",
+              r.types_with_runtime_members, "types");
+  session.add("calibrated", "types with multiple fn ptrs",
+              r.types_with_multiple, "types");
 
   // Tool sanity across other corpus shapes.
   std::printf("\nscaling check (tool must track planted ground truth):\n");
@@ -55,6 +61,10 @@ int main() {
                 s.single_ptr_types, s.multi_ptr_types,
                 res.runtime_assigned_members, res.types_with_runtime_members,
                 res.types_with_multiple);
+    session.add("scale" + std::to_string(scale), "recovered members",
+                res.runtime_assigned_members, "members",
+                static_cast<double>(res.runtime_assigned_members) /
+                    s.total_members);
   }
-  return 0;
+  return session.finish();
 }

@@ -26,7 +26,7 @@ using compiler::BackwardScheme;
 
 constexpr uint64_t kText = 0xFFFF000000080000ull;
 constexpr uint64_t kStackTop = 0xFFFF000000140000ull;
-constexpr uint64_t kIters = 4000;
+uint64_t kIters = 4000;  // reduced under --smoke
 
 /// Cycles per iteration of a loop that BLs into a framed no-op callee built
 /// under `scheme` (or a loop with no call at all for `with_call = false`).
@@ -77,36 +77,42 @@ double measure(BackwardScheme scheme, bool compat, bool with_call) {
 
 }  // namespace
 
-int main() {
-  bench::print_header(
-      "Figure 2", "function call overhead by modifier scheme",
+int main(int argc, char** argv) {
+  bench::Session s(
+      argc, argv, "Figure 2", "function call overhead by modifier scheme",
       "ordering Clang(SP) < Camouflage(32b SP + fn addr) < PARTS(16b SP + "
       "48b LTO id); ~tens of ns at 1.2 GHz");
+  kIters = s.iters(4000, 200);
 
   const double empty = measure(BackwardScheme::None, false, false);
   const double baseline = measure(BackwardScheme::None, false, true) - empty;
 
   struct Row {
     const char* name;
+    const char* key;
     BackwardScheme scheme;
     bool compat;
   };
   const Row rows[] = {
-      {"3) clang (SP only)", BackwardScheme::ClangSp, false},
-      {"1) camouflage (SP32+fn)", BackwardScheme::Camouflage, false},
-      {"2) parts (SP16+id48)", BackwardScheme::Parts, false},
-      {"   camouflage compat (§5.5)", BackwardScheme::Camouflage, true},
-      {"   parts compat", BackwardScheme::Parts, true},
+      {"3) clang (SP only)", "clang-sp", BackwardScheme::ClangSp, false},
+      {"1) camouflage (SP32+fn)", "camouflage", BackwardScheme::Camouflage,
+       false},
+      {"2) parts (SP16+id48)", "parts", BackwardScheme::Parts, false},
+      {"   camouflage compat (§5.5)", "camouflage-compat",
+       BackwardScheme::Camouflage, true},
+      {"   parts compat", "parts-compat", BackwardScheme::Parts, true},
   };
 
   std::printf("%-30s %12s %12s %14s\n", "scheme", "cycles/call", "ns/call",
               "CFI overhead ns");
   std::printf("%-30s %12.1f %12.1f %14s\n", "baseline (unprotected call)",
               baseline, bench::to_ns(baseline), "-");
+  s.add("baseline", "call", baseline, "cycles/call");
   for (const auto& row : rows) {
     const double c = measure(row.scheme, row.compat, true) - empty;
     std::printf("%-30s %12.1f %12.1f %14.1f\n", row.name, c, bench::to_ns(c),
                 bench::to_ns(c - baseline));
+    s.add(row.key, "call", c, "cycles/call", c / baseline);
   }
 
   std::printf(
@@ -117,5 +123,5 @@ int main() {
       compiler::backward_overhead_insns(BackwardScheme::Parts, false),
       compiler::backward_overhead_insns(BackwardScheme::Camouflage, true),
       compiler::backward_overhead_insns(BackwardScheme::Parts, true));
-  return 0;
+  return s.finish();
 }

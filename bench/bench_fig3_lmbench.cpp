@@ -11,6 +11,7 @@
 // relative latency Figure 3 plots.
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "bench_util.h"
@@ -28,7 +29,7 @@ struct Bench {
   std::vector<obj::Program> (*make)();
 };
 
-constexpr uint64_t kIters = 1500;
+uint64_t kIters = 1500;  // reduced under --smoke
 
 std::vector<obj::Program> make_null() {
   std::vector<obj::Program> v;
@@ -64,11 +65,12 @@ std::vector<obj::Program> make_ctx() {
 
 }  // namespace
 
-int main() {
-  bench::print_header(
-      "Figure 3", "lmbench (relative) latencies",
+int main(int argc, char** argv) {
+  bench::Session s(
+      argc, argv, "Figure 3", "lmbench (relative) latencies",
       "double-digit % syscall-level overhead for full protection; "
       "backward-only in between; high call density explains the cost");
+  kIters = s.iters(1500, 100);
 
   const Bench benches[] = {
       {"null syscall", kIters, make_null},
@@ -104,6 +106,7 @@ int main() {
       if (base == 0) base = per_op;
       const double rel = per_op / base;
       std::printf(" %10.1f %11.3fx |", per_op, rel);
+      s.add(cfgn.name, b.name, per_op, "cycles/op", rel);
       if (std::string(cfgn.name) == "backward") geo_back += std::log(rel);
       if (std::string(cfgn.name) == "full") geo_full += std::log(rel);
     }
@@ -114,5 +117,31 @@ int main() {
               "%.3fx (paper Figure 3 shows the same ordering with "
               "double-digit %% overheads)\n",
               std::exp(geo_back / n), std::exp(geo_full / n));
-  return 0;
+
+  // --trace <path>: rerun one workload with the obs collector attached and
+  // dump the Chrome trace_event JSON (chrome://tracing / Perfetto) plus the
+  // flat per-symbol cycle profile.
+  if (!s.trace_path().empty()) {
+    const auto r = bench::run_workload(compiler::ProtectionConfig::full(),
+                                       make_read(), 400'000'000,
+                                       /*collect=*/true);
+    if (r.halt_code != kernel::kHaltDone) {
+      std::fprintf(stderr, "trace run failed (halt=0x%llx)\n",
+                   static_cast<unsigned long long>(r.halt_code));
+      return 1;
+    }
+    if (r.profile_cycles != r.total) {
+      std::fprintf(stderr,
+                   "profile does not account for all cycles: %llu != %llu\n",
+                   static_cast<unsigned long long>(r.profile_cycles),
+                   static_cast<unsigned long long>(r.total));
+      return 1;
+    }
+    std::ofstream out(s.trace_path());
+    out << r.trace_json << "\n";
+    std::printf("\n[chrome trace -> %s]\n", s.trace_path().c_str());
+    std::printf("\nflat profile (read syscall workload, full protection):\n%s",
+                r.flat_profile.c_str());
+  }
+  return s.finish();
 }

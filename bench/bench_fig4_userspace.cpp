@@ -24,17 +24,20 @@ struct Workload {
   obj::Program (*make)();
 };
 
-obj::Program make_resize() { return wl::image_resize(60); }
-obj::Program make_build() { return wl::package_build(40); }
-obj::Program make_download() { return wl::download(60); }
+uint64_t g_scale = 1;  // divisor under --smoke
+
+obj::Program make_resize() { return wl::image_resize(60 / g_scale); }
+obj::Program make_build() { return wl::package_build(40 / g_scale); }
+obj::Program make_download() { return wl::download(60 / g_scale); }
 
 }  // namespace
 
-int main() {
-  bench::print_header(
-      "Figure 4", "user-space performance (relative run time)",
+int main(int argc, char** argv) {
+  bench::Session s(
+      argc, argv, "Figure 4", "user-space performance (relative run time)",
       "<4% geometric-mean overhead for full protection; JPEG < build < "
       "download");
+  g_scale = s.smoke() ? 10 : 1;
 
   const Workload workloads[] = {
       {"1) JPEG resize (user compute)", make_resize},
@@ -66,10 +69,12 @@ int main() {
       if (base == 0) {
         base = cyc;
         std::printf(" %12.0f |", cyc);
+        s.add(cfgn.name, w.name, cyc, "cycles");
         continue;
       }
       const double rel = cyc / base;
       std::printf(" %8.0f %6.3fx |", cyc, rel);
+      s.add(cfgn.name, w.name, cyc, "cycles", rel);
       if (std::string(cfgn.name) == "backward") geo_back += std::log(rel);
       if (std::string(cfgn.name) == "full") geo_full += std::log(rel);
     }
@@ -80,5 +85,7 @@ int main() {
   std::printf("\ngeometric mean: backward-edge %+.2f%%, full %+.2f%% "
               "(paper: full < 4%%)\n",
               (gb - 1) * 100, (gf - 1) * 100);
-  return 0;
+  s.add("backward", "geometric mean", gb, "ratio");
+  s.add("full", "geometric mean", gf, "ratio");
+  return s.finish();
 }

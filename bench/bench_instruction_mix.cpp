@@ -17,6 +17,8 @@ namespace {
 using namespace camo;  // NOLINT
 namespace wl = kernel::workloads;
 
+uint64_t g_scale = 1;  // divisor under --smoke
+
 struct Row {
   const char* name;
   std::vector<obj::Program> progs;
@@ -59,11 +61,12 @@ Mix measure(std::vector<obj::Program> progs_full,
 
 }  // namespace
 
-int main() {
-  bench::print_header(
-      "Section 6.1.3", "instruction mix vs overhead",
+int main(int argc, char** argv) {
+  bench::Session s(
+      argc, argv, "Section 6.1.3", "instruction mix vs overhead",
       "syscall overhead is proportional to function-call density (and hence "
       "to the PAuth instructions instrumentation adds)");
+  g_scale = s.smoke() ? 10 : 1;
 
   struct Work {
     const char* name;
@@ -73,31 +76,31 @@ int main() {
       {"null-syscall storm",
        [] {
          std::vector<obj::Program> v;
-         v.push_back(wl::null_syscall(1000));
+         v.push_back(wl::null_syscall(1000 / g_scale));
          return v;
        }},
       {"read loop (64B)",
        [] {
          std::vector<obj::Program> v;
-         v.push_back(wl::read_file(500, 64, kernel::FileKind::Null));
+         v.push_back(wl::read_file(500 / g_scale, 64, kernel::FileKind::Null));
          return v;
        }},
       {"JPEG resize (user compute)",
        [] {
          std::vector<obj::Program> v;
-         v.push_back(wl::image_resize(40));
+         v.push_back(wl::image_resize(40 / g_scale));
          return v;
        }},
       {"package build (balanced)",
        [] {
          std::vector<obj::Program> v;
-         v.push_back(wl::package_build(20));
+         v.push_back(wl::package_build(20 / g_scale));
          return v;
        }},
       {"download (kernel copy)",
        [] {
          std::vector<obj::Program> v;
-         v.push_back(wl::download(30));
+         v.push_back(wl::download(30 / g_scale));
          return v;
        }},
   };
@@ -108,10 +111,16 @@ int main() {
     const Mix m = measure(w.make(), w.make());
     std::printf("%-30s %11.2f%% %14.1f %13.3fx\n", w.name, m.pauth_pct,
                 m.calls_per_k, m.rel_overhead);
+    s.add("full", std::string(w.name) + ": PAuth insn share", m.pauth_pct,
+          "%");
+    s.add("full", std::string(w.name) + ": call density", m.calls_per_k,
+          "calls/1k insn");
+    s.add("full", std::string(w.name) + ": overhead", m.rel_overhead,
+          "ratio", m.rel_overhead);
   }
   std::printf(
       "\nreading: rows with more calls per 1k instructions carry more PAuth "
       "instrumentation and show proportionally larger overhead — the "
       "paper's explanation for the Figure 3 / Figure 4 gap, measured.\n");
-  return 0;
+  return s.finish();
 }

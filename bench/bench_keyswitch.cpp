@@ -78,13 +78,15 @@ double msr_cycles_per_key(int keys, int reps) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("Section 6.1.1", "PAuth key switching cost",
-                      "9 cycles per 128-bit key (avg 8.88); 3 keys in use");
+int main(int argc, char** argv) {
+  bench::Session s(argc, argv, "Section 6.1.1", "PAuth key switching cost",
+                   "9 cycles per 128-bit key (avg 8.88); 3 keys in use");
+  const int reps = static_cast<int>(s.iters(500, 50));
 
   for (const int keys : {1, 2, 3, 5}) {
-    const double per_key = msr_cycles_per_key(keys, 500);
+    const double per_key = msr_cycles_per_key(keys, reps);
     std::printf("  MSR switch, %d key(s): %6.2f cycles/key\n", keys, per_key);
+    s.add("msr", std::to_string(keys) + " keys", per_key, "cycles/key");
   }
 
   // Full syscall-path switching: compare total syscall cost with the stock
@@ -119,6 +121,8 @@ int main() {
         "cycles total, %.2f cycles/key\n",
         static_cast<unsigned long long>(core.cycles()),
         static_cast<double>(core.cycles()) / 3);
+    s.add("xom-setter", "3 keys", static_cast<double>(core.cycles()) / 3,
+          "cycles/key");
   }
   std::printf(
       "\nshape check: MSR-only cost per key should be ~9 cycles as in the "
@@ -128,20 +132,21 @@ int main() {
   // §8 future-work ablation: the proposed layered/banked key-management ISA
   // extension removes the per-transition switch entirely.
   {
-    auto syscall_cycles = [](bool banked) {
+    const uint64_t n = s.iters(2000, 100);
+    auto syscall_cycles = [n](bool banked) {
       kernel::MachineConfig cfg;
       cfg.kernel.protection = compiler::ProtectionConfig::full();
       cfg.kernel.log_pac_failures = false;
       cfg.cpu.banked_keys = banked;
       kernel::Machine m(cfg);
-      m.add_user_program(kernel::workloads::null_syscall(2000));
+      m.add_user_program(kernel::workloads::null_syscall(n));
       m.boot();
       uint64_t start = 0;
       m.cpu().add_breakpoint(kernel::kUserBase, [&](cpu::Cpu& c) {
         if (start == 0) start = c.cycles();
       });
       m.run();
-      return static_cast<double>(m.cpu().cycles() - start) / 2001;
+      return static_cast<double>(m.cpu().cycles() - start) / (n + 1);
     };
     const double xom = syscall_cycles(false);
     const double banked = syscall_cycles(true);
@@ -152,6 +157,8 @@ int main() {
         "  saving: %.1f cycles (%.1f%%) — and the XOM page, the setter call "
         "and the §4.1 key-read verification all become unnecessary.\n",
         xom, banked, xom - banked, (xom - banked) / xom * 100);
+    s.add("xom-setter", "null syscall", xom, "cycles/op");
+    s.add("banked-keys", "null syscall", banked, "cycles/op", banked / xom);
   }
-  return 0;
+  return s.finish();
 }

@@ -27,11 +27,12 @@ using AttackFn = AttackReport (*)(const ProtectionConfig&);
 
 }  // namespace
 
-int main() {
-  bench::print_header("Section 6.2", "security evaluation matrix",
-                      "PAuth detects pointer injection; modifiers bind "
-                      "signatures to object/function/SP context; XOM and "
-                      "stage-2 block key leaks and rodata tampering");
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv, "Section 6.2",
+                         "security evaluation matrix",
+                         "PAuth detects pointer injection; modifiers bind "
+                         "signatures to object/function/SP context; XOM and "
+                         "stage-2 block key leaks and rodata tampering");
 
   struct Attack {
     const char* name;
@@ -61,15 +62,23 @@ int main() {
       {"full+compat", compat},
   };
 
+  // Under --smoke only the two extreme configurations run; the full matrix
+  // is the default.
+  const size_t ncfg = session.smoke() ? 3 : 4;
+
   std::printf("%-38s", "attack \\ protection");
-  for (const auto& c : cfgs) std::printf(" %-12s", c.name);
+  for (size_t ci = 0; ci < ncfg; ++ci) std::printf(" %-12s", cfgs[ci].name);
   std::printf("\n%.*s\n", 96,
               "--------------------------------------------------------------"
               "--------------------------------------------------");
   for (const auto& a : attack_rows) {
     std::printf("%-38s", a.name);
-    for (const auto& c : cfgs)
-      std::printf(" %-12s", attacks::outcome_name(a.fn(c.prot).outcome));
+    for (size_t ci = 0; ci < ncfg; ++ci) {
+      const Outcome o = a.fn(cfgs[ci].prot).outcome;
+      std::printf(" %-12s", attacks::outcome_name(o));
+      session.add(cfgs[ci].name, a.name, static_cast<double>(o),
+                  "outcome (0=hijacked 1=detected 2=blocked)");
+    }
     std::printf("\n");
   }
 
@@ -80,6 +89,8 @@ int main() {
                 "PAC brute force (§5.4)", attacks::outcome_name(r.outcome),
                 static_cast<unsigned long long>(r.attempts),
                 static_cast<unsigned long long>(r.halt_code));
+    session.add("full", "PAC brute force attempts",
+                static_cast<double>(r.attempts), "tries");
   }
 
   // §8 extension: forged saved exception state (ERET-to-EL1 escalation).
@@ -92,6 +103,12 @@ int main() {
                 "trapframe ELR/SPSR rewrite (§8)",
                 attacks::outcome_name(off.outcome),
                 attacks::outcome_name(on.outcome));
+    session.add("full", "trapframe rewrite",
+                static_cast<double>(off.outcome),
+                "outcome (0=hijacked 1=detected 2=blocked)");
+    session.add("full+signed-trapframe", "trapframe rewrite",
+                static_cast<double>(on.outcome),
+                "outcome (0=hijacked 1=detected 2=blocked)");
   }
 
   // Ablation: Apple-style zero modifiers (§7) lose object binding.
@@ -118,20 +135,29 @@ int main() {
       attacks::ReplayScenario::CrossThread64kStacks,
       attacks::ReplayScenario::DiffFunctionDiffSp,
   };
+  const struct {
+    const char* name;
+    BackwardScheme scheme;
+  } schemes[] = {{"clang-sp", BackwardScheme::ClangSp},
+                 {"parts", BackwardScheme::Parts},
+                 {"camouflage", BackwardScheme::Camouflage}};
   for (const auto sc : scenarios) {
     std::printf("%-28s", attacks::replay_scenario_name(sc));
-    for (const auto s : {BackwardScheme::ClangSp, BackwardScheme::Parts,
-                         BackwardScheme::Camouflage}) {
-      const bool host = attacks::replay_accepted(s, sc);
-      const bool cpu = attacks::replay_accepted_on_cpu(s, sc);
+    for (const auto& sch : schemes) {
+      const bool host = attacks::replay_accepted(sch.scheme, sc);
+      const bool cpu = attacks::replay_accepted_on_cpu(sch.scheme, sc);
       std::printf(" %-10s", host == cpu ? (host ? "  BYPASS" : "  caught")
                                         : "MISMATCH");
-      if (s == BackwardScheme::Parts) std::printf("  ");
+      if (sch.scheme == BackwardScheme::Parts) std::printf("  ");
+      session.add(sch.name,
+                  std::string("replay: ") + attacks::replay_scenario_name(sc),
+                  host == cpu ? (host ? 1.0 : 0.0) : -1.0,
+                  "accepted (1=bypass 0=caught -1=model mismatch)");
     }
     std::printf("\n");
   }
   std::printf("\n(Camouflage is bypassed only by same-function/same-SP "
               "replay, which the paper acknowledges as residual: 'the "
               "function address does not completely prevent reuse'.)\n");
-  return 0;
+  return session.finish();
 }

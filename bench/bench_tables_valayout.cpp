@@ -6,10 +6,10 @@
 #include "bench_util.h"
 #include "mem/valayout.h"
 
-int main() {
+int main(int argc, char** argv) {
   using camo::mem::VaLayout;
-  camo::bench::print_header(
-      "Tables 1 & 2", "VMSAv8 address ranges and pointer layout",
+  camo::bench::Session s(
+      argc, argv, "Tables 1 & 2", "VMSAv8 address ranges and pointer layout",
       "bit 55 selects user/kernel half; with 48-bit VAs and TBI for user "
       "space only, PAC space is 7 bits (user) / 15 bits (kernel)");
 
@@ -24,8 +24,12 @@ int main() {
   for (const unsigned va_bits : {32u, 39u, 42u, 48u, 52u}) {
     VaLayout l;
     l.va_bits = va_bits;
-    std::printf("  %8u %10s %12u %12u\n", va_bits, "off",
-                l.pac_width(uint64_t{1} << 55), l.pac_width(0));
+    const unsigned kern = l.pac_width(uint64_t{1} << 55);
+    const unsigned user = l.pac_width(0);
+    std::printf("  %8u %10s %12u %12u\n", va_bits, "off", kern, user);
+    const std::string cfg = "va" + std::to_string(va_bits);
+    s.add(cfg, "kernel PAC width", kern, "bits");
+    s.add(cfg, "user PAC width", user, "bits");
   }
-  return 0;
+  return s.finish();
 }

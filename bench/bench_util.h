@@ -6,14 +6,30 @@
 // Raspberry Pi 3's 1.2 GHz clock the paper measured on. Absolute numbers are
 // not comparable with the paper's testbed; the shape (ordering, ratios,
 // where overhead concentrates) is what each bench validates.
+//
+// Every bench binary drives a bench::Session, which
+//   * prints the figure header,
+//   * parses the shared flags (--json <path>, --smoke, --trace <path>) and
+//     compacts them out of argv so binaries with their own flag parsing
+//     (bench_qarma) still work,
+//   * collects every reported measurement as a (config, benchmark, value,
+//     unit[, relative]) series point, and
+//   * on finish() writes the machine-readable BENCH JSON document
+//     (schema "camo-bench/v1"), re-parses it and validates the schema —
+//     a malformed or empty series makes the binary exit non-zero, which is
+//     what the ctest bench_smoke targets check.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "compiler/instrument.h"
 #include "kernel/machine.h"
+#include "obs/json.h"
 
 namespace camo::bench {
 
@@ -41,16 +57,24 @@ struct RunCycles {
   uint64_t total = 0;       ///< boot to halt
   uint64_t workload = 0;    ///< first EL0 entry to halt
   uint64_t halt_code = 0;
+  // Populated only when run with `collect = true`:
+  std::string trace_json;    ///< Chrome trace_event JSON of the run
+  std::string flat_profile;  ///< per-symbol cycle profile (text)
+  uint64_t profile_cycles = 0;  ///< profiler total (== total by invariant)
 };
 
 /// Build a machine with `prot`, add the given user programs, run to halt and
-/// report cycles. The workload window starts when EL0 first executes.
+/// report cycles. The workload window starts when EL0 first executes. With
+/// `collect`, the machine runs with the obs collector attached and the
+/// result carries the Chrome trace and the flat cycle profile.
 inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
                               std::vector<obj::Program> programs,
-                              uint64_t max_steps = 400'000'000) {
+                              uint64_t max_steps = 400'000'000,
+                              bool collect = false) {
   kernel::MachineConfig cfg;
   cfg.kernel.protection = prot;
   cfg.kernel.log_pac_failures = false;
+  cfg.obs.enabled = collect;
   kernel::Machine m(cfg);
   for (auto& p : programs) m.add_user_program(std::move(p));
   m.boot();
@@ -63,15 +87,190 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
   r.total = m.cpu().cycles();
   r.workload = start == 0 ? r.total : r.total - start;
   r.halt_code = m.halted() ? m.halt_code() : ~uint64_t{0};
+  if (obs::Collector* st = m.stats()) {
+    r.trace_json = st->chrome_trace_json();
+    r.flat_profile = st->flat_profile();
+    r.profile_cycles = st->profiler().total_cycles();
+  }
   return r;
 }
 
-inline void print_header(const char* id, const char* title,
-                         const char* paper_claim) {
-  std::printf("\n================================================================\n");
-  std::printf("%s — %s\n", id, title);
-  std::printf("paper: %s\n", paper_claim);
-  std::printf("================================================================\n");
+/// One measurement in the emitted series.
+struct SeriesPoint {
+  std::string config;     ///< protection/config axis ("none", "full", ...)
+  std::string benchmark;  ///< benchmark axis ("null syscall", ...)
+  double value = 0;
+  std::string unit;  ///< "cycles", "ns", "cycles/op", "ratio", ...
+  std::optional<double> relative;  ///< vs the baseline config, when meaningful
+};
+
+/// Validate a parsed BENCH JSON document against the camo-bench/v1 schema.
+/// Returns an empty string when valid, else a description of the problem.
+inline std::string validate_bench_json(const obs::json::Value& doc) {
+  if (!doc.is_object()) return "document is not a JSON object";
+  const auto* schema = doc.get("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "camo-bench/v1")
+    return "missing or wrong \"schema\" (want \"camo-bench/v1\")";
+  for (const char* key : {"bench", "title"}) {
+    const auto* v = doc.get(key);
+    if (!v || !v->is_string() || v->as_string().empty())
+      return std::string("missing string field \"") + key + "\"";
+  }
+  const auto* smoke = doc.get("smoke");
+  if (!smoke || !smoke->is_bool()) return "missing bool field \"smoke\"";
+  const auto* series = doc.get("series");
+  if (!series || !series->is_array()) return "missing \"series\" array";
+  if (series->size() == 0) return "empty series";
+  for (size_t i = 0; i < series->size(); ++i) {
+    const auto* p = series->at(i);
+    const std::string at = "series[" + std::to_string(i) + "]";
+    if (!p->is_object()) return at + " is not an object";
+    for (const char* key : {"config", "benchmark", "unit"}) {
+      const auto* v = p->get(key);
+      if (!v || !v->is_string())
+        return at + " missing string field \"" + key + "\"";
+    }
+    const auto* value = p->get("value");
+    if (!value || !value->is_number())
+      return at + " missing number field \"value\"";
+    const auto* rel = p->get("relative");
+    if (rel && !rel->is_number()) return at + " \"relative\" is not a number";
+  }
+  return "";
 }
+
+/// Per-binary bench driver; see the header comment.
+class Session {
+ public:
+  Session(int& argc, char** argv, std::string bench_id, std::string title,
+          std::string paper_claim)
+      : bench_id_(std::move(bench_id)), title_(std::move(title)) {
+    parse_flags(argc, argv);
+    std::printf(
+        "\n================================================================\n");
+    std::printf("%s — %s%s\n", bench_id_.c_str(), title_.c_str(),
+                smoke_ ? "  [smoke]" : "");
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf(
+        "================================================================\n");
+  }
+
+  bool smoke() const { return smoke_; }
+  /// Iteration-count helper: the full count normally, the reduced count
+  /// under --smoke (ctest wants the schema checked, not the statistics).
+  uint64_t iters(uint64_t full, uint64_t reduced) const {
+    return smoke_ ? reduced : full;
+  }
+  const std::string& json_path() const { return json_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+  void add(std::string config, std::string benchmark, double value,
+           std::string unit,
+           std::optional<double> relative = std::nullopt) {
+    series_.push_back({std::move(config), std::move(benchmark), value,
+                       std::move(unit), relative});
+  }
+
+  /// Write the side artifacts and return the process exit code: non-zero if
+  /// no measurements were recorded or the emitted JSON fails validation.
+  int finish() {
+    if (series_.empty()) {
+      std::fprintf(stderr, "%s: no measurements recorded\n",
+                   bench_id_.c_str());
+      return 1;
+    }
+    if (json_path_.empty()) return 0;
+
+    obs::json::Value doc = obs::json::Value::object();
+    doc.set("schema", obs::json::Value("camo-bench/v1"));
+    doc.set("bench", obs::json::Value(bench_id_));
+    doc.set("title", obs::json::Value(title_));
+    doc.set("smoke", obs::json::Value(smoke_));
+    obs::json::Value series = obs::json::Value::array();
+    for (const SeriesPoint& p : series_) {
+      obs::json::Value pt = obs::json::Value::object();
+      pt.set("config", obs::json::Value(p.config));
+      pt.set("benchmark", obs::json::Value(p.benchmark));
+      pt.set("value", obs::json::Value(p.value));
+      pt.set("unit", obs::json::Value(p.unit));
+      if (p.relative) pt.set("relative", obs::json::Value(*p.relative));
+      series.push(std::move(pt));
+    }
+    doc.set("series", std::move(series));
+
+    {
+      std::ofstream out(json_path_);
+      if (!out) {
+        std::fprintf(stderr, "%s: cannot write %s\n", bench_id_.c_str(),
+                     json_path_.c_str());
+        return 1;
+      }
+      out << doc.dump(2) << "\n";
+    }
+
+    // Self-check: re-read the artifact and validate the schema, so a broken
+    // writer fails the bench (and the ctest smoke target) immediately.
+    std::ifstream in(json_path_);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const auto parsed = obs::json::Value::parse(text);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: emitted JSON does not parse\n",
+                   bench_id_.c_str());
+      return 1;
+    }
+    const std::string err = validate_bench_json(*parsed);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s: emitted JSON fails schema check: %s\n",
+                   bench_id_.c_str(), err.c_str());
+      return 1;
+    }
+    std::printf("\n[%zu series points -> %s]\n", series_.size(),
+                json_path_.c_str());
+    return 0;
+  }
+
+ private:
+  void parse_flags(int& argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto take_value = [&](const char* flag,
+                                  std::string& dst) -> bool {
+        const std::string eq = std::string(flag) + "=";
+        if (arg == flag && i + 1 < argc) {
+          dst = argv[++i];
+          return true;
+        }
+        if (arg.rfind(eq, 0) == 0) {
+          dst = arg.substr(eq.size());
+          return true;
+        }
+        return false;
+      };
+      if (arg == "--smoke") {
+        smoke_ = true;
+        continue;
+      }
+      if (arg == "--json" || arg == "--trace") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: %s requires a path\n", arg.c_str());
+          std::exit(2);
+        }
+      }
+      if (take_value("--json", json_path_)) continue;
+      if (take_value("--trace", trace_path_)) continue;
+      argv[out++] = argv[i];  // not ours: keep for the binary's own parser
+    }
+    argc = out;
+    argv[argc] = nullptr;
+  }
+
+  std::string bench_id_, title_;
+  std::string json_path_, trace_path_;
+  bool smoke_ = false;
+  std::vector<SeriesPoint> series_;
+};
 
 }  // namespace camo::bench

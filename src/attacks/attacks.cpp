@@ -62,7 +62,23 @@ MachineConfig machine_config(const ProtectionConfig& prot,
   cfg.kernel.protection = prot;
   cfg.kernel.pac_failure_threshold = threshold;
   cfg.kernel.log_pac_failures = false;
+  // Attack runs always trace: reports cross-check the guest-side failure
+  // counter against the AuthFail events the CPU emitted.
+  cfg.obs.enabled = true;
   return cfg;
+}
+
+/// Cross-check the trace against the guest view and stamp the final
+/// classification into the event stream.
+void record_outcome(Machine& m, AttackReport& r) {
+  obs::Collector* st = m.stats();
+  if (!st) return;
+  r.trace_auth_failures = st->ring().count_kind(obs::EventKind::AuthFail);
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::AttackOutcome;
+  e.cycles = m.cpu().cycles();
+  e.k1 = static_cast<uint8_t>(r.outcome);
+  st->emit(e);
 }
 
 AttackReport finish(Machine& m, uint64_t max_steps = 50'000'000) {
@@ -82,6 +98,7 @@ AttackReport finish(Machine& m, uint64_t max_steps = 50'000'000) {
     r.outcome = Outcome::Blocked;
     r.detail = "attack had no effect";
   }
+  record_outcome(m, r);
   return r;
 }
 
@@ -263,6 +280,7 @@ AttackReport run_key_extraction(const ProtectionConfig& prot) {
     r.outcome = Outcome::Blocked;
     r.detail = "XOM unreadable; no key material in readable memory";
   }
+  record_outcome(m, r);
   return r;
 }
 
@@ -279,6 +297,7 @@ AttackReport run_rodata_tamper(const ProtectionConfig& prot) {
     r.outcome = Outcome::Blocked;
     r.detail = "ops tables are write-protected (stage 2)";
   }
+  record_outcome(m, r);
   return r;
 }
 

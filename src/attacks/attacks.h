@@ -32,6 +32,9 @@ struct AttackReport {
   uint64_t pac_failures = 0;
   uint64_t halt_code = 0;
   uint64_t attempts = 1;  ///< brute force: tries until panic/success
+  /// AuthFail events observed in the machine's trace ring — the obs-side
+  /// view of the same failures the guest counts in pac_fail_count.
+  uint64_t trace_auth_failures = 0;
 };
 
 /// The threat-model memory primitive (kernel-level read/write that cannot

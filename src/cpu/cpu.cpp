@@ -30,6 +30,73 @@ const char* exc_class_name(ExcClass c) {
 Cpu::Cpu(mem::Mmu& mmu, Config cfg)
     : mmu_(&mmu), cfg_(cfg), pauth_(cfg.layout) {}
 
+obs::OpClass Cpu::op_class(Op op) {
+  switch (op) {
+    case Op::B:
+    case Op::BCOND:
+    case Op::CBZ:
+    case Op::CBNZ:
+    case Op::BR:
+      return obs::OpClass::Branch;
+    case Op::BL:
+    case Op::BLR:
+      return obs::OpClass::Call;
+    case Op::RET:
+      return obs::OpClass::Ret;
+    case Op::LDR:
+    case Op::LDRB:
+    case Op::LDP:
+    case Op::LDP_POST:
+      return obs::OpClass::Load;
+    case Op::STR:
+    case Op::STRB:
+    case Op::STP:
+    case Op::STP_PRE:
+      return obs::OpClass::Store;
+    case Op::PACIA:
+    case Op::PACIB:
+    case Op::PACDA:
+    case Op::PACDB:
+    case Op::AUTIA:
+    case Op::AUTIB:
+    case Op::AUTDA:
+    case Op::AUTDB:
+    case Op::PACGA:
+    case Op::XPACI:
+    case Op::XPACD:
+    case Op::PACIASP:
+    case Op::AUTIASP:
+    case Op::PACIBSP:
+    case Op::AUTIBSP:
+    case Op::PACIA1716:
+    case Op::PACIB1716:
+    case Op::AUTIA1716:
+    case Op::AUTIB1716:
+    case Op::XPACLRI:
+      return obs::OpClass::Pauth;
+    case Op::RETAA:
+    case Op::RETAB:
+    case Op::BRAA:
+    case Op::BRAB:
+    case Op::BLRAA:
+    case Op::BLRAB:
+      return obs::OpClass::PauthBranch;
+    case Op::MRS:
+    case Op::MSR:
+    case Op::SVC:
+    case Op::HVC:
+    case Op::BRK:
+    case Op::HLT:
+    case Op::ERET:
+    case Op::ISB:
+    case Op::DAIFSET:
+    case Op::DAIFCLR:
+      return obs::OpClass::Sys;
+    default:
+      return obs::OpClass::Other;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Registers
 // ---------------------------------------------------------------------------
@@ -203,6 +270,7 @@ unsigned Cpu::cycle_cost(const Inst& inst) {
 
 void Cpu::take_exception(ExcClass cls, uint64_t far, uint16_t iss,
                          FaultKind fk, uint64_t preferred_return) {
+  const uint8_t from_el = static_cast<uint8_t>(pstate.el);
   // Pack PSTATE into our SPSR layout: el[1:0], irq_masked[7], NZCV[31:28].
   uint64_t spsr = static_cast<uint64_t>(pstate.el);
   if (pstate.irq_masked) spsr |= uint64_t{1} << 7;
@@ -225,6 +293,30 @@ void Cpu::take_exception(ExcClass cls, uint64_t far, uint16_t iss,
   pstate.irq_masked = true;
   pc = sys_[static_cast<size_t>(SysReg::VBAR_EL1)] + offset;
   cycles_ += 12;  // exception entry microarchitectural cost
+
+  if (sink_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::ExcEnter;
+    e.cycles = cycles_;
+    e.pc = preferred_return;
+    e.a = far;
+    if (cls == ExcClass::Svc) e.b = gpr_[8];  // AAPCS64: syscall nr in x8
+    e.el = from_el;
+    e.k1 = static_cast<uint8_t>(cls);
+    e.k2 = static_cast<uint8_t>(fk);
+    e.imm = iss;
+    sink_->emit(e);
+    if (fk == FaultKind::Stage2) {
+      obs::TraceEvent s2;
+      s2.kind = obs::EventKind::Stage2Fault;
+      s2.cycles = cycles_;
+      s2.pc = preferred_return;
+      s2.a = far;
+      s2.el = from_el;
+      s2.k1 = static_cast<uint8_t>(cls);
+      sink_->emit(s2);
+    }
+  }
 }
 
 void Cpu::do_eret() {
@@ -236,6 +328,17 @@ void Cpu::do_eret() {
   pstate.c = (spsr >> 29) & 1;
   pstate.v = (spsr >> 28) & 1;
   pc = sys_[static_cast<size_t>(SysReg::ELR_EL1)];
+
+  if (sink_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::ExcExit;
+    e.cycles = cycles_;
+    e.pc = pc;
+    e.a = pc;
+    e.el = 1;  // ERET executes at EL1
+    e.k2 = static_cast<uint8_t>(pstate.el);
+    sink_->emit(e);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -298,6 +401,17 @@ bool Cpu::pauth_enabled(PacKey k) const {
 
 uint64_t Cpu::do_pac(uint64_t ptr, uint64_t modifier, PacKey k) {
   if (!pauth_enabled(k)) return ptr;  // disabled keys make PAC* a no-op
+  if (sink_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::PacSign;
+    e.cycles = cycles_;
+    e.pc = pc - 4;
+    e.a = ptr;
+    e.b = modifier;
+    e.el = static_cast<uint8_t>(pstate.el);
+    e.k1 = static_cast<uint8_t>(k);
+    sink_->emit(e);
+  }
   return pauth_.add_pac(ptr, modifier, pac_key(k));
 }
 
@@ -306,6 +420,17 @@ uint64_t Cpu::do_aut(uint64_t ptr, uint64_t modifier, PacKey k, Op op,
   fault_taken = false;
   if (!pauth_enabled(k)) return ptr;
   const auto r = pauth_.auth(ptr, modifier, pac_key(k), k);
+  if (sink_) {
+    obs::TraceEvent e;
+    e.kind = r.ok ? obs::EventKind::AuthOk : obs::EventKind::AuthFail;
+    e.cycles = cycles_;
+    e.pc = pc - 4;
+    e.a = ptr;
+    e.b = modifier;
+    e.el = static_cast<uint8_t>(pstate.el);
+    e.k1 = static_cast<uint8_t>(k);
+    sink_->emit(e);
+  }
   if (!r.ok) {
     if (pac_observer_) pac_observer_(*this, op, ptr);
     if (cfg_.fpac) {
@@ -335,6 +460,22 @@ void Cpu::add_breakpoint(uint64_t va, Hook hook) {
 }
 
 bool Cpu::step() {
+  if (!attr_) return step_impl();
+  // Attribute the whole step's cycle delta (instruction cost plus any
+  // exception-entry cost) to the pc/EL the step started at, so the sum over
+  // all retire() calls reproduces cycles() exactly.
+  const uint64_t pc0 = pc;
+  const uint8_t el0 = static_cast<uint8_t>(pstate.el);
+  const uint64_t c0 = cycles_;
+  step_op_class_ = obs::OpClass::Other;
+  const bool more = step_impl();
+  if (cycles_ != c0)
+    attr_->retire(pc0, el0, static_cast<uint8_t>(step_op_class_),
+                  cycles_ - c0);
+  return more;
+}
+
+bool Cpu::step_impl() {
   if (halted_) return false;
 
   if (timer_cycles_ != 0 && cycles_ >= timer_cycles_) {
@@ -370,6 +511,7 @@ bool Cpu::step() {
   }
   const Inst inst = isa::decode(static_cast<uint32_t>(fetched.value));
   if (trace_) trace_(*this, iaddr, inst);
+  if (attr_) step_op_class_ = op_class(inst.op);
 
   pc = iaddr + 4;
   execute(inst);
@@ -716,6 +858,17 @@ void Cpu::execute(const Inst& inst) {
         break;
       }
       set_sysreg(inst.sysreg, v);
+      if (sink_ && isa::is_pauth_key_reg(inst.sysreg)) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::KeyWrite;
+        e.cycles = cycles_;
+        e.pc = iaddr;
+        e.el = static_cast<uint8_t>(pstate.el);
+        // Key registers are laid out Lo/Hi pairs in PacKey order.
+        e.k1 = static_cast<uint8_t>(static_cast<unsigned>(inst.sysreg) / 2);
+        e.imm = static_cast<uint16_t>(inst.sysreg);
+        sink_->emit(e);
+      }
       break;
     }
     case Op::SVC:

@@ -24,6 +24,7 @@
 #include "cpu/pauth.h"
 #include "isa/isa.h"
 #include "mem/mmu.h"
+#include "obs/trace.h"
 
 namespace camo::cpu {
 
@@ -156,6 +157,19 @@ class Cpu {
   using TraceFn = std::function<void(const Cpu&, uint64_t pc, const isa::Inst&)>;
   void set_trace(TraceFn t) { trace_ = std::move(t); }
 
+  // ---- Observability (camo::obs) ----------------------------------------
+  /// Structured trace events (exception entry/exit, PAC sign/auth, key
+  /// writes). Null (the default) disables emission entirely; attaching a
+  /// sink never changes simulated cycle counts.
+  void set_trace_sink(obs::TraceSink* s) { sink_ = s; }
+  obs::TraceSink* trace_sink() const { return sink_; }
+  /// Per-step cycle attribution feed (EL residency, per-symbol profiling).
+  /// Summing the reported cycles reproduces cycles() exactly.
+  void set_cycle_attributor(obs::CycleAttributor* a) { attr_ = a; }
+
+  /// Coarse class of an opcode for per-class retired-op metrics.
+  static obs::OpClass op_class(isa::Op op);
+
   // ---- Our simplified ESR encoding --------------------------------------
   static uint64_t esr_pack(ExcClass cls, uint16_t iss, mem::FaultKind fk);
   static ExcClass esr_class(uint64_t esr);
@@ -172,6 +186,7 @@ class Cpu {
   static constexpr uint64_t kVecIrqEl0 = 0x180;
 
  private:
+  bool step_impl();
   void execute(const isa::Inst& inst);
   void take_exception(ExcClass cls, uint64_t far, uint16_t iss,
                       mem::FaultKind fk, uint64_t preferred_return);
@@ -217,6 +232,10 @@ class Cpu {
   MsrFilter msr_filter_;
   PacFailureObserver pac_observer_;
   TraceFn trace_;
+
+  obs::TraceSink* sink_ = nullptr;
+  obs::CycleAttributor* attr_ = nullptr;
+  obs::OpClass step_op_class_ = obs::OpClass::Other;  // scratch, set per step
 };
 
 }  // namespace camo::cpu

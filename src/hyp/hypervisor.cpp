@@ -105,23 +105,42 @@ void Hypervisor::install(cpu::Cpu& cpu) {
   });
 }
 
-bool Hypervisor::filter_msr(cpu::Cpu&, isa::SysReg reg, uint64_t) {
+bool Hypervisor::filter_msr(cpu::Cpu& cpu, isa::SysReg reg, uint64_t) {
   using isa::SysReg;
+  const auto deny = [&] {
+    ++denied_msr_;
+    if (sink_) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::MsrDenied;
+      e.cycles = cpu.cycles();
+      e.pc = cpu.pc;
+      e.el = static_cast<uint8_t>(cpu.pstate.el);
+      e.imm = static_cast<uint16_t>(reg);
+      sink_->emit(e);
+    }
+    return false;
+  };
   // Translation control is never EL1-writable: the paper's threat model has
   // the hypervisor lock MMU system registers outright.
-  if (reg == SysReg::TTBR0_EL1 || reg == SysReg::TTBR1_EL1) {
-    ++denied_msr_;
-    return false;
-  }
+  if (reg == SysReg::TTBR0_EL1 || reg == SysReg::TTBR1_EL1) return deny();
   // SCTLR/VBAR are writable during early boot only; Lockdown freezes them.
-  if (locked_ && (reg == SysReg::SCTLR_EL1 || reg == SysReg::VBAR_EL1)) {
-    ++denied_msr_;
-    return false;
-  }
+  if (locked_ && (reg == SysReg::SCTLR_EL1 || reg == SysReg::VBAR_EL1))
+    return deny();
   return true;
 }
 
 void Hypervisor::handle_hvc(cpu::Cpu& cpu, uint16_t imm) {
+  if (sink_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::HvcCall;
+    e.cycles = cpu.cycles();
+    e.pc = cpu.pc;
+    e.a = cpu.x(0);
+    e.b = cpu.x(1);
+    e.el = static_cast<uint8_t>(cpu.pstate.el);
+    e.imm = imm;
+    sink_->emit(e);
+  }
   switch (static_cast<HvcCall>(imm)) {
     case HvcCall::ConsolePutc:
       console_.push_back(static_cast<char>(cpu.x(0)));
@@ -169,7 +188,25 @@ void Hypervisor::do_load_module(cpu::Cpu& cpu) {
 
   // §4.1: scan the module for key reads / SCTLR tampering before mapping.
   last_verify_ = verifier_.verify_image(image);
-  if (!last_verify_->ok()) {
+  const bool ok = last_verify_->ok();
+
+  const std::string init_sym = mod.name + "_init";
+  const uint64_t init_va =
+      ok && image.has_symbol(init_sym) ? image.symbol(init_sym) : 0;
+
+  if (sink_) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::ModuleLoad;
+    e.cycles = cpu.cycles();
+    e.pc = cpu.pc;
+    e.a = id;
+    e.b = init_va;
+    e.el = static_cast<uint8_t>(cpu.pstate.el);
+    e.k1 = ok ? 1 : 0;
+    sink_->emit(e);
+  }
+
+  if (!ok) {
     cpu.set_x(0, 0);
     return;
   }
@@ -177,8 +214,7 @@ void Hypervisor::do_load_module(cpu::Cpu& cpu) {
   load_image(image, kernel_map_, /*user=*/false);
   loaded_.push_back({mod.name, image});
 
-  const std::string init_sym = mod.name + "_init";
-  cpu.set_x(0, image.has_symbol(init_sym) ? image.symbol(init_sym) : 0);
+  cpu.set_x(0, init_va);
   cpu.set_x(1, image.pauth_table_va);
   cpu.set_x(2, image.pauth_table_count);
 }

@@ -109,6 +109,11 @@ class Hypervisor {
   const std::string& console() const { return console_; }
   void clear_console() { console_.clear(); }
 
+  // ---- observability ----
+  /// Structured EL2-side trace events (HVC calls, module loads, denied MSR
+  /// writes). Null disables emission.
+  void set_trace_sink(obs::TraceSink* s) { sink_ = s; }
+
  private:
   void handle_hvc(cpu::Cpu& cpu, uint16_t imm);
   bool filter_msr(cpu::Cpu& cpu, isa::SysReg reg, uint64_t value);
@@ -140,6 +145,7 @@ class Hypervisor {
   std::optional<analysis::VerifyResult> last_verify_;
 
   std::string console_;
+  obs::TraceSink* sink_ = nullptr;
 };
 
 }  // namespace camo::hyp

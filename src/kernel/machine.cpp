@@ -64,6 +64,11 @@ void Machine::boot() {
   boot_ = std::make_unique<core::BootResult>(core::Bootloader::boot(
       kb_.build(), bcfg, hv_, cpu_, kKernelBase, kBootStackTop));
 
+  // Attach before any guest instruction executes so the collector sees the
+  // whole run (the bootloader only stages memory and registers; all guest
+  // cycles flow through Cpu::step()).
+  if (cfg_.obs.enabled) attach_observability();
+
   // §8 extension: the "hypervisor" provisions the kernel key bank directly —
   // the keys never exist in EL1-accessible state.
   if (cfg_.cpu.banked_keys) {
@@ -75,6 +80,43 @@ void Machine::boot() {
   }
 
   if (cfg_.kernel.preempt) cpu_.set_timer_period(cfg_.preempt_timeslice);
+}
+
+void Machine::attach_observability() {
+  stats_ = std::make_unique<obs::Collector>(cfg_.obs);
+  cpu_.set_trace_sink(stats_.get());
+  cpu_.set_cycle_attributor(stats_.get());
+  hv_.set_trace_sink(stats_.get());
+
+  if (cfg_.obs.profile) {
+    auto& prof = stats_->profiler();
+    const obj::Image& img = boot_->kernel_image;
+    for (const auto& [name, size] : img.function_sizes) {
+      const uint64_t va = img.symbol(name);
+      prof.add_region(name, va, va + size);
+    }
+    // User programs all link at kUserBase in separate address spaces, so
+    // their texts overlap in VA; profile them as one aggregate region.
+    uint64_t user_end = 0;
+    for (const auto& u : user_images_)
+      if (u.end_va() > user_end) user_end = u.end_va();
+    if (user_end > kUserBase) prof.add_region("[user]", kUserBase, user_end);
+  }
+
+  if (boot_->kernel_image.has_symbol(kSymCpuSwitchTo)) {
+    obs::Collector* c = stats_.get();
+    cpu_.add_breakpoint(
+        boot_->kernel_image.symbol(kSymCpuSwitchTo), [c](cpu::Cpu& cc) {
+          obs::TraceEvent e;
+          e.kind = obs::EventKind::ContextSwitch;
+          e.cycles = cc.cycles();
+          e.pc = cc.pc;
+          e.a = cc.x(0);  // prev task struct
+          e.b = cc.x(1);  // next task struct
+          e.el = static_cast<uint8_t>(cc.pstate.el);
+          c->emit(e);
+        });
+  }
 }
 
 bool Machine::run(uint64_t max_steps) {

@@ -18,12 +18,14 @@
 #include "kernel/kernel_builder.h"
 #include "mem/mmu.h"
 #include "obj/object.h"
+#include "obs/collector.h"
 
 namespace camo::kernel {
 
 struct MachineConfig {
   KernelConfig kernel;
   cpu::Cpu::Config cpu;
+  obs::Options obs;                  ///< observability (off by default)
   uint64_t seed = 0xC0FFEE;          ///< boot entropy (kernel + user keys)
   uint64_t phys_bytes = 64ull << 20;
   uint64_t preempt_timeslice = 20000;  ///< cycles, when kernel.preempt is set
@@ -65,6 +67,11 @@ class Machine {
   const core::BootResult& boot_result() const { return *boot_; }
   const MachineConfig& config() const { return cfg_; }
 
+  /// Per-machine observability (trace ring, metrics, profiler). Non-null
+  /// only when MachineConfig::obs.enabled was set before boot().
+  obs::Collector* stats() { return stats_.get(); }
+  const obs::Collector* stats() const { return stats_.get(); }
+
   // ---- guest state inspection / manipulation (host-side) ----
   uint64_t kernel_symbol(const std::string& name) const;
   uint64_t read_u64(uint64_t va) const;
@@ -81,12 +88,15 @@ class Machine {
   uint64_t read_user_u64(unsigned pid, uint64_t va);
 
  private:
+  void attach_observability();
+
   MachineConfig cfg_;
   mem::PhysicalMemory pm_;
   mem::Mmu mmu_;
   hyp::Hypervisor hv_;
   cpu::Cpu cpu_;
   KernelBuilder kb_;
+  std::unique_ptr<obs::Collector> stats_;
   std::unique_ptr<core::BootResult> boot_;
   std::vector<obj::Image> user_images_;  ///< indexed by pid - 1
   std::vector<int> user_spaces_;

@@ -1,0 +1,181 @@
+#include "obs/chrome_trace.h"
+
+#include "obs/json.h"
+#include "support/format.h"
+
+namespace camo::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+constexpr int kTidExc = 1;      ///< exception-window lane
+constexpr int kTidSyscall = 2;  ///< syscall-window lane
+constexpr int kTidPoints = 3;   ///< instant-event lane
+
+json::Value make_event(const char* name, const char* ph, uint64_t ts,
+                       int tid) {
+  json::Value ev = json::Value::object();
+  ev.set("name", json::Value(name));
+  ev.set("ph", json::Value(ph));
+  ev.set("ts", json::Value(ts));
+  ev.set("pid", json::Value(kPid));
+  ev.set("tid", json::Value(tid));
+  return ev;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  json::Value trace = json::Value::array();
+
+  // Lane names first (metadata events; position in the array is irrelevant
+  // but leading with them keeps the file easy to eyeball).
+  const struct {
+    int tid;
+    const char* name;
+  } lanes[] = {{kTidExc, "exceptions"},
+               {kTidSyscall, "syscalls"},
+               {kTidPoints, "events"}};
+  for (const auto& lane : lanes) {
+    json::Value ev = make_event("thread_name", "M", 0, lane.tid);
+    json::Value args = json::Value::object();
+    args.set("name", json::Value(lane.name));
+    ev.set("args", std::move(args));
+    trace.push(std::move(ev));
+  }
+
+  int exc_depth = 0;
+  int sys_depth = 0;
+  uint64_t last_ts = 0;
+
+  for (const TraceEvent& e : events) {
+    if (e.cycles > last_ts) last_ts = e.cycles;
+    switch (e.kind) {
+      case EventKind::ExcEnter: {
+        json::Value ev = make_event(exc_class_label(e.k1), "B", e.cycles,
+                                    kTidExc);
+        json::Value args = json::Value::object();
+        args.set("pc", json::Value(strformat("0x%llx",
+                                             (unsigned long long)e.pc)));
+        args.set("from_el", json::Value(static_cast<uint64_t>(e.el)));
+        if (e.imm) args.set("iss", json::Value(static_cast<uint64_t>(e.imm)));
+        ev.set("args", std::move(args));
+        trace.push(std::move(ev));
+        ++exc_depth;
+        break;
+      }
+      case EventKind::ExcExit:
+        // Depth guard: a wrapped ring can start mid-window; an exit with no
+        // recorded entry would unbalance the B/E stream.
+        if (exc_depth > 0) {
+          trace.push(make_event("", "E", e.cycles, kTidExc));
+          --exc_depth;
+        }
+        break;
+      case EventKind::SyscallEnter: {
+        const std::string name = strformat("syscall %u", e.imm);
+        trace.push(make_event(name.c_str(), "B", e.cycles, kTidSyscall));
+        ++sys_depth;
+        break;
+      }
+      case EventKind::SyscallExit:
+        if (sys_depth > 0) {
+          trace.push(make_event("", "E", e.cycles, kTidSyscall));
+          --sys_depth;
+        }
+        break;
+      case EventKind::AuthFail: {
+        const std::string name =
+            strformat("auth-fail %s", pac_key_label(e.k1));
+        json::Value ev = make_event(name.c_str(), "i", e.cycles, kTidPoints);
+        ev.set("s", json::Value("g"));  // global-scope instant
+        json::Value args = json::Value::object();
+        args.set("ptr", json::Value(strformat("0x%llx",
+                                              (unsigned long long)e.a)));
+        args.set("modifier", json::Value(strformat("0x%llx",
+                                                   (unsigned long long)e.b)));
+        ev.set("args", std::move(args));
+        trace.push(std::move(ev));
+        break;
+      }
+      case EventKind::KeyWrite: {
+        const std::string name =
+            strformat("key-write %s", pac_key_label(e.k1));
+        json::Value ev = make_event(name.c_str(), "i", e.cycles, kTidPoints);
+        ev.set("s", json::Value("t"));
+        trace.push(std::move(ev));
+        break;
+      }
+      case EventKind::ContextSwitch: {
+        json::Value ev = make_event("context-switch", "i", e.cycles,
+                                    kTidPoints);
+        ev.set("s", json::Value("g"));
+        json::Value args = json::Value::object();
+        args.set("prev", json::Value(strformat("0x%llx",
+                                               (unsigned long long)e.a)));
+        args.set("next", json::Value(strformat("0x%llx",
+                                               (unsigned long long)e.b)));
+        ev.set("args", std::move(args));
+        trace.push(std::move(ev));
+        break;
+      }
+      case EventKind::Stage2Fault: {
+        json::Value ev = make_event("stage2-fault", "i", e.cycles, kTidPoints);
+        ev.set("s", json::Value("g"));
+        json::Value args = json::Value::object();
+        args.set("va", json::Value(strformat("0x%llx",
+                                             (unsigned long long)e.a)));
+        ev.set("args", std::move(args));
+        trace.push(std::move(ev));
+        break;
+      }
+      case EventKind::HvcCall: {
+        const std::string name = strformat("hvc %u", e.imm);
+        json::Value ev = make_event(name.c_str(), "i", e.cycles, kTidPoints);
+        ev.set("s", json::Value("t"));
+        trace.push(std::move(ev));
+        break;
+      }
+      case EventKind::ModuleLoad: {
+        json::Value ev = make_event("module-load", "i", e.cycles, kTidPoints);
+        ev.set("s", json::Value("t"));
+        trace.push(std::move(ev));
+        break;
+      }
+      case EventKind::MsrDenied: {
+        json::Value ev = make_event("msr-denied", "i", e.cycles, kTidPoints);
+        ev.set("s", json::Value("t"));
+        trace.push(std::move(ev));
+        break;
+      }
+      case EventKind::AttackOutcome: {
+        const std::string name =
+            strformat("attack: %s", outcome_label(e.k1));
+        json::Value ev = make_event(name.c_str(), "i", e.cycles, kTidPoints);
+        ev.set("s", json::Value("g"));
+        trace.push(std::move(ev));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Close any spans the stream left open so viewers see complete windows.
+  while (exc_depth-- > 0) trace.push(make_event("", "E", last_ts, kTidExc));
+  while (sys_depth-- > 0)
+    trace.push(make_event("", "E", last_ts, kTidSyscall));
+
+  json::Value root = json::Value::object();
+  root.set("traceEvents", std::move(trace));
+  root.set("displayTimeUnit", json::Value("ns"));
+  root.set("otherData", [] {
+    json::Value od = json::Value::object();
+    od.set("source", json::Value("camo::obs"));
+    od.set("time_unit", json::Value("1 trace us == 1 guest cycle"));
+    return od;
+  }());
+  return root.dump();
+}
+
+}  // namespace camo::obs

@@ -1,0 +1,116 @@
+#include "obs/collector.h"
+
+#include <string>
+
+#include "obs/chrome_trace.h"
+
+namespace camo::obs {
+
+namespace {
+constexpr uint8_t kExcClassSvc = 1;  // mirrors cpu::ExcClass::Svc
+}
+
+Collector::Collector(const Options& opts)
+    : opts_(opts), ring_(opts.trace_capacity) {
+  for (int el = 0; el < 3; ++el) {
+    cycles_el_[el] = &reg_.counter("cycles.el" + std::to_string(el));
+    insn_el_[el] = &reg_.counter("insn.el" + std::to_string(el));
+  }
+  for (size_t c = 0; c < static_cast<size_t>(OpClass::kCount); ++c)
+    ops_[c] = &reg_.counter(std::string("ops.") +
+                            op_class_name(static_cast<OpClass>(c)));
+  syscall_cycles_ = &reg_.histogram("syscall.cycles");
+}
+
+void Collector::emit(const TraceEvent& e) {
+  ring_.emit(e);
+  switch (e.kind) {
+    case EventKind::ExcEnter:
+      reg_.counter("exc.enter").inc();
+      reg_.counter(std::string("exc.") + exc_class_label(e.k1)).inc();
+      if (e.k1 == kExcClassSvc) {
+        reg_.counter("syscall.count").inc();
+        syscall_open_ = true;
+        syscall_enter_cycles_ = e.cycles;
+        syscall_nr_ = static_cast<uint16_t>(e.b);
+        TraceEvent sc{};
+        sc.kind = EventKind::SyscallEnter;
+        sc.cycles = e.cycles;
+        sc.pc = e.pc;
+        sc.el = e.el;
+        sc.imm = syscall_nr_;
+        ring_.emit(sc);
+      }
+      break;
+    case EventKind::ExcExit:
+      reg_.counter("exc.exit").inc();
+      if (syscall_open_ && e.k2 == 0) {  // ERET back to EL0 closes the window
+        syscall_open_ = false;
+        const uint64_t window = e.cycles - syscall_enter_cycles_;
+        syscall_cycles_->record(window);
+        TraceEvent sc{};
+        sc.kind = EventKind::SyscallExit;
+        sc.cycles = e.cycles;
+        sc.pc = e.a;
+        sc.el = e.el;
+        sc.imm = syscall_nr_;
+        sc.a = window;
+        ring_.emit(sc);
+      }
+      break;
+    case EventKind::KeyWrite:
+      reg_.counter("key.write").inc();
+      reg_.counter(std::string("key.write.") + pac_key_label(e.k1)).inc();
+      break;
+    case EventKind::PacSign:
+      reg_.counter("pauth.sign").inc();
+      reg_.counter(std::string("pauth.sign.") + pac_key_label(e.k1)).inc();
+      break;
+    case EventKind::AuthOk:
+      reg_.counter("pauth.auth.ok").inc();
+      break;
+    case EventKind::AuthFail:
+      reg_.counter("pauth.auth.fail").inc();
+      reg_.counter(std::string("pauth.auth.fail.") + pac_key_label(e.k1))
+          .inc();
+      break;
+    case EventKind::Stage2Fault:
+      reg_.counter("stage2.fault").inc();
+      break;
+    case EventKind::ContextSwitch:
+      reg_.counter("sched.switch").inc();
+      break;
+    case EventKind::HvcCall:
+      reg_.counter("hvc.call").inc();
+      break;
+    case EventKind::ModuleLoad:
+      reg_.counter("module.load").inc();
+      break;
+    case EventKind::MsrDenied:
+      reg_.counter("msr.denied").inc();
+      break;
+    case EventKind::AttackOutcome:
+      reg_.counter("attack.outcome").inc();
+      reg_.counter(std::string("attack.") + outcome_label(e.k1)).inc();
+      break;
+    default:
+      break;
+  }
+}
+
+void Collector::retire(uint64_t pc, uint8_t el, uint8_t op_class,
+                       uint64_t cycles) {
+  if (el < 3) {
+    cycles_el_[el]->inc(cycles);
+    insn_el_[el]->inc();
+  }
+  if (op_class < static_cast<uint8_t>(OpClass::kCount))
+    ops_[op_class]->inc();
+  if (opts_.profile) prof_.retire(pc, el, op_class, cycles);
+}
+
+std::string Collector::chrome_trace_json() const {
+  return obs::chrome_trace_json(ring_.snapshot());
+}
+
+}  // namespace camo::obs

@@ -1,0 +1,85 @@
+// Collector: the per-machine observability hub.
+//
+// One object implements both producer interfaces (TraceSink +
+// CycleAttributor) and fans everything out to the three backends:
+//
+//  * a TraceRing keeping the most recent events,
+//  * a Registry of named counters/histograms derived from the event stream
+//    and the retire feed (EL cycle residency, per-class retired ops,
+//    per-key auth failures, syscall latency histogram, ...),
+//  * a Profiler bucketing retired cycles by guest symbol.
+//
+// The Collector also *synthesizes* syscall windows: an ExcEnter with the SVC
+// class opens a window (emitting SyscallEnter with the nr from x8) and the
+// next ExcExit returning to EL0 closes it (emitting SyscallExit and
+// recording the window length in the `syscall.cycles` histogram). Under
+// context switching a window can span other tasks' execution; the histogram
+// therefore measures wall-clock (guest cycle) syscall latency, which is what
+// Fig. 3 reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/ring.h"
+#include "obs/trace.h"
+
+namespace camo::obs {
+
+/// Knobs carried in MachineConfig. Disabled by default: a Machine without
+/// `enabled` never allocates a Collector and the CPU's sink pointers stay
+/// null.
+struct Options {
+  bool enabled = false;
+  size_t trace_capacity = 1 << 15;  ///< TraceRing capacity (events)
+  bool profile = true;              ///< attach the per-symbol cycle profiler
+};
+
+class Collector : public TraceSink, public CycleAttributor {
+ public:
+  explicit Collector(const Options& opts = Options{});
+
+  // Producer interfaces -----------------------------------------------------
+  void emit(const TraceEvent& e) override;
+  void retire(uint64_t pc, uint8_t el, uint8_t op_class,
+              uint64_t cycles) override;
+
+  // Backends ----------------------------------------------------------------
+  Registry& metrics() { return reg_; }
+  const Registry& metrics() const { return reg_; }
+  TraceRing& ring() { return ring_; }
+  const TraceRing& ring() const { return ring_; }
+  Profiler& profiler() { return prof_; }
+  const Profiler& profiler() const { return prof_; }
+  const Options& options() const { return opts_; }
+
+  // Export ------------------------------------------------------------------
+  /// Chrome trace_event JSON of the retained event window.
+  std::string chrome_trace_json() const;
+  /// Flat per-symbol cycle profile (text).
+  std::string flat_profile() const { return prof_.flat_profile(); }
+  /// Counters + histograms as a JSON document.
+  std::string metrics_json() const { return reg_.to_json(); }
+
+ private:
+  Options opts_;
+  Registry reg_;
+  TraceRing ring_;
+  Profiler prof_;
+
+  // Syscall-window synthesis state.
+  bool syscall_open_ = false;
+  uint64_t syscall_enter_cycles_ = 0;
+  uint16_t syscall_nr_ = 0;
+
+  // Hot-path counter/histogram references (resolved once; Registry
+  // references are stable).
+  Counter* cycles_el_[3];
+  Counter* insn_el_[3];
+  Counter* ops_[static_cast<size_t>(OpClass::kCount)];
+  Histogram* syscall_cycles_;
+};
+
+}  // namespace camo::obs

@@ -1,0 +1,344 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace camo::obs::json {
+
+std::string number_to_string(double d) {
+  if (std::isnan(d) || std::isinf(d)) return "0";  // JSON has no NaN/Inf
+  // Integers (within the exactly-representable range) print as integers.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+std::string Value::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const Value* Value::get(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value* Value::at(size_t i) const {
+  if (kind_ != Kind::Array || i >= arr_.size()) return nullptr;
+  return &arr_[i];
+}
+
+Value& Value::push(Value v) {
+  arr_.push_back(std::move(v));
+  return arr_.back();
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  for (auto& [k, existing] : obj_)
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  obj_.emplace_back(key, std::move(v));
+  return obj_.back().second;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Number:
+      out += number_to_string(num_);
+      break;
+    case Kind::String:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      break;
+    case Kind::Array: {
+      out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        out += '"';
+        out += escape(obj_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  bool parse_value(Value& out) {
+    if (depth_ > 200) return false;  // malicious nesting
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        std::string str;
+        if (!parse_string(str)) return false;
+        out = Value(std::move(str));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = Value(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = Value(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = Value();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    ++depth_;
+    ++pos_;  // '{'
+    out = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.set(key, std::move(v));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(Value& out) {
+    ++depth_;
+    ++pos_;  // '['
+    out = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.push(std::move(v));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (peek() != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs rejoined as
+          // two separate escapes are out of scope; emit replacement bytes).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Value& out) {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    out = Value(std::strtod(s_.c_str() + start, nullptr));
+    return true;
+  }
+
+  bool literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> Value::parse(const std::string& text) {
+  return Parser(text).run();
+}
+
+}  // namespace camo::obs::json

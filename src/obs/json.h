@@ -1,0 +1,99 @@
+// Minimal JSON support for observability artifacts: a value tree with a
+// writer (dump) and a strict recursive-descent parser (parse). Used for the
+// BENCH_*.json series, the Chrome trace export, the metrics dump, and — the
+// important half — *validating* those artifacts from tests and the ctest
+// smoke targets, so a malformed or empty export fails loudly instead of
+// producing an unreadable file.
+//
+// Scope: UTF-8 pass-through, numbers as double, \uXXXX parsed as raw
+// code-unit pass-through for BMP characters. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace camo::obs::json {
+
+class Value {
+ public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Value() : kind_(Kind::Null) {}
+  explicit Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::Number), num_(d) {}
+  explicit Value(uint64_t u)
+      : kind_(Kind::Number), num_(static_cast<double>(u)) {}
+  explicit Value(int i) : kind_(Kind::Number), num_(i) {}
+  explicit Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  explicit Value(const char* s) : kind_(Kind::String), str_(s) {}
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<Value>& items() const { return arr_; }
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return obj_;
+  }
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Value* get(const std::string& key) const;
+  /// Array element; nullptr when out of range or not an array.
+  const Value* at(size_t i) const;
+  size_t size() const {
+    return kind_ == Kind::Array ? arr_.size()
+                                : (kind_ == Kind::Object ? obj_.size() : 0);
+  }
+
+  // Builders.
+  Value& push(Value v);  ///< append to array; returns the stored element
+  Value& set(const std::string& key, Value v);  ///< insert/replace member
+
+  /// Serialize. `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete document; std::nullopt on any error.
+  static std::optional<Value> parse(const std::string& text);
+
+  /// Escape helper exposed for streaming writers.
+  static std::string escape(const std::string& s);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Format a double the way JSON expects (no trailing garbage, integers
+/// rendered without exponent when exact).
+std::string number_to_string(double d);
+
+}  // namespace camo::obs::json

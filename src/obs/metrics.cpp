@@ -1,0 +1,45 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+#include "support/format.h"
+
+namespace camo::obs {
+
+std::string Registry::render_text() const {
+  std::string out;
+  for (const auto& [name, c] : counters_)
+    out += strformat("%-32s %12llu\n", name.c_str(),
+                     static_cast<unsigned long long>(c.value()));
+  for (const auto& [name, h] : histograms_)
+    out += strformat("%-32s n=%llu mean=%.1f min=%llu max=%llu\n",
+                     name.c_str(), static_cast<unsigned long long>(h.count()),
+                     h.mean(), static_cast<unsigned long long>(h.min()),
+                     static_cast<unsigned long long>(h.max()));
+  return out;
+}
+
+std::string Registry::to_json() const {
+  json::Value root = json::Value::object();
+  json::Value cs = json::Value::object();
+  for (const auto& [name, c] : counters_) cs.set(name, json::Value(c.value()));
+  root.set("counters", std::move(cs));
+  json::Value hs = json::Value::object();
+  for (const auto& [name, h] : histograms_) {
+    json::Value stats = json::Value::object();
+    stats.set("count", json::Value(h.count()));
+    stats.set("sum", json::Value(h.sum()));
+    stats.set("min", json::Value(h.min()));
+    stats.set("max", json::Value(h.max()));
+    stats.set("mean", json::Value(h.mean()));
+    json::Value buckets = json::Value::array();
+    unsigned top = Histogram::kBuckets;
+    while (top > 0 && h.bucket(top - 1) == 0) --top;
+    for (unsigned i = 0; i < top; ++i) buckets.push(json::Value(h.bucket(i)));
+    stats.set("log2_buckets", std::move(buckets));
+    hs.set(name, std::move(stats));
+  }
+  root.set("histograms", std::move(hs));
+  return root.dump(2);
+}
+
+}  // namespace camo::obs

@@ -1,0 +1,99 @@
+// Metrics registry: named monotonic counters and cycle histograms.
+//
+// Counters only ever increase (there is deliberately no decrement or reset —
+// regression gating depends on monotonicity within a run). Histograms bucket
+// values by floor(log2) with exact count/sum/min/max, which is enough to
+// track syscall-latency distributions (Fig. 3) without storing samples.
+//
+// References returned by Registry::counter()/histogram() are stable for the
+// registry's lifetime, so hot emission paths can resolve a name once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace camo::obs {
+
+class Counter {
+ public:
+  void inc(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 64;
+
+  void record(uint64_t v) {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    ++buckets_[bucket_index(v)];
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+  }
+  /// Samples in [2^i, 2^(i+1)) (bucket 0 also holds v == 0).
+  uint64_t bucket(unsigned i) const { return i < kBuckets ? buckets_[i] : 0; }
+
+  static unsigned bucket_index(uint64_t v) {
+    unsigned i = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++i;
+    }
+    return i;
+  }
+
+ private:
+  uint64_t count_ = 0, sum_ = 0, min_ = 0, max_ = 0;
+  uint64_t buckets_[kBuckets] = {};
+};
+
+class Registry {
+ public:
+  /// Get-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Query without creating: 0 / empty histogram stats for unknown names.
+  uint64_t value(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+  bool has_counter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+  const Histogram* find_histogram(const std::string& name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  /// Name-sorted views (std::map iteration order).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Human-readable dump (one metric per line).
+  std::string render_text() const;
+  /// JSON object: {"counters": {...}, "histograms": {name: {count,sum,...}}}.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace camo::obs

@@ -1,0 +1,89 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+
+namespace camo::obs {
+
+void Profiler::add_region(std::string name, uint64_t start, uint64_t end) {
+  if (end <= start) return;
+  regions_.push_back(Region{std::move(name), start, end, 0, 0});
+  sorted_ = false;
+}
+
+const Profiler::Region* Profiler::find(uint64_t pc) const {
+  // upper_bound on start, then check containment in the preceding region.
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), pc,
+      [](uint64_t v, const Region& r) { return v < r.start; });
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  return pc < it->end ? &*it : nullptr;
+}
+
+void Profiler::retire(uint64_t pc, uint8_t /*el*/, uint8_t /*op_class*/,
+                      uint64_t cycles) {
+  if (!sorted_) {
+    std::sort(regions_.begin(), regions_.end(),
+              [](const Region& a, const Region& b) { return a.start < b.start; });
+    sorted_ = true;
+  }
+  Region* r = const_cast<Region*>(find(pc));
+  if (!r) r = &other_;
+  r->cycles += cycles;
+  ++r->retires;
+}
+
+std::vector<Profiler::Region> Profiler::entries() const {
+  std::vector<Region> out;
+  out.reserve(regions_.size() + 1);
+  for (const Region& r : regions_)
+    if (r.cycles || r.retires) out.push_back(r);
+  if (other_.cycles || other_.retires) out.push_back(other_);
+  std::sort(out.begin(), out.end(),
+            [](const Region& a, const Region& b) { return a.cycles > b.cycles; });
+  return out;
+}
+
+uint64_t Profiler::total_cycles() const {
+  uint64_t sum = other_.cycles;
+  for (const Region& r : regions_) sum += r.cycles;
+  return sum;
+}
+
+uint64_t Profiler::total_retires() const {
+  uint64_t sum = other_.retires;
+  for (const Region& r : regions_) sum += r.retires;
+  return sum;
+}
+
+std::string Profiler::flat_profile() const {
+  const uint64_t total = total_cycles();
+  std::string out = strformat("%12s  %6s  %10s  %s\n", "cycles", "%", "retires",
+                              "symbol");
+  for (const Region& r : entries()) {
+    const double pct =
+        total ? 100.0 * static_cast<double>(r.cycles) / static_cast<double>(total)
+              : 0.0;
+    out += strformat("%12llu  %5.1f%%  %10llu  %s\n",
+                     static_cast<unsigned long long>(r.cycles), pct,
+                     static_cast<unsigned long long>(r.retires),
+                     r.name.c_str());
+  }
+  out += strformat("%12llu  100.0%%  %10llu  (total)\n",
+                   static_cast<unsigned long long>(total),
+                   static_cast<unsigned long long>(total_retires()));
+  return out;
+}
+
+void Profiler::clear() {
+  for (Region& r : regions_) {
+    r.cycles = 0;
+    r.retires = 0;
+  }
+  other_.cycles = 0;
+  other_.retires = 0;
+}
+
+}  // namespace camo::obs

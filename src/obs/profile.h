@@ -1,0 +1,58 @@
+// Cycle-attributed flat profiler.
+//
+// The Machine registers one region per guest kernel symbol (plus one per
+// loaded user image); the profiler then buckets every retired cycle by the
+// region containing the pc it retired at. Cycles retired outside any region
+// (bootloader stubs, unmapped pc) land in the "[other]" catch-all, so the
+// per-region sum always equals Cpu::cycles() exactly — the invariant the
+// tests pin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace camo::obs {
+
+class Profiler : public CycleAttributor {
+ public:
+  struct Region {
+    std::string name;
+    uint64_t start = 0;  ///< first VA covered
+    uint64_t end = 0;    ///< one past the last VA covered
+    uint64_t cycles = 0;
+    uint64_t retires = 0;  ///< retired steps attributed here
+  };
+
+  /// Register [start, end) under `name`. Regions must not overlap; call
+  /// before attaching the profiler to a CPU.
+  void add_region(std::string name, uint64_t start, uint64_t end);
+
+  void retire(uint64_t pc, uint8_t el, uint8_t op_class,
+              uint64_t cycles) override;
+
+  /// All regions with attributed cycles, hottest first. Includes "[other]"
+  /// when anything fell outside the registered regions.
+  std::vector<Region> entries() const;
+
+  /// Sum of all attributed cycles (== Cpu::cycles() when attached for the
+  /// whole run).
+  uint64_t total_cycles() const;
+  uint64_t total_retires() const;
+
+  /// Human-readable flat profile (cycles, %, retires, symbol).
+  std::string flat_profile() const;
+
+  void clear();
+
+ private:
+  const Region* find(uint64_t pc) const;
+
+  std::vector<Region> regions_;  ///< sorted by start
+  Region other_{"[other]", 0, 0, 0, 0};
+  bool sorted_ = true;
+};
+
+}  // namespace camo::obs

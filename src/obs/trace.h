@@ -1,0 +1,110 @@
+// camo::obs — structured tracing for the simulator and the guest kernel.
+//
+// Every observable claim in the paper is an event stream: key switches
+// (§6.1.1), PAuth sign/auth outcomes and the §5.4 brute-force threshold,
+// syscall latencies (Fig. 3), context switches, stage-2 permission faults and
+// attack outcomes (§6.2). This header defines the typed event record and the
+// two producer-side interfaces the emitting layers (camo::cpu, camo::hyp,
+// camo::kernel::Machine, camo::attacks) talk to:
+//
+//  * TraceSink  — receives typed TraceEvents. Producers hold a raw pointer
+//    that is null by default, so the disabled path is a single predictable
+//    branch per would-be event and the simulated cycle counts are bit-for-bit
+//    identical whether or not a sink is attached (events never consume guest
+//    cycles).
+//  * CycleAttributor — receives one (pc, EL, op class, cycles) record per
+//    retired CPU step, the feed for EL-residency accounting and the
+//    per-symbol cycle profiler.
+//
+// obs sits below every other subsystem (it depends only on camo_support), so
+// the CPU itself can emit events. Event payloads are therefore plain
+// integers; the label helpers below mirror the producer-side enums
+// (cpu::ExcClass, cpu::PacKey order) and a test pins them in sync.
+#pragma once
+
+#include <cstdint>
+
+namespace camo::obs {
+
+/// Typed trace events. The per-kind payload assignments are documented in
+/// DESIGN.md §3a (guest-visible event taxonomy).
+enum class EventKind : uint8_t {
+  None = 0,
+  ExcEnter,       ///< exception entry: k1=ExcClass, k2=FaultKind, imm=iss,
+                  ///< a=FAR, b=x8 (syscall nr when k1==Svc), pc=return addr
+  ExcExit,        ///< ERET: k2=target EL, a=target pc
+  SyscallEnter,   ///< synthesized from ExcEnter/Svc: imm=syscall nr
+  SyscallExit,    ///< synthesized from ExcExit to EL0: a=window cycles
+  KeyWrite,       ///< MSR to a PAuth key register: imm=sysreg, k1=key index
+  PacSign,        ///< PAC insertion: k1=key, a=pointer, b=modifier
+  AuthOk,         ///< successful AUT*: k1=key, a=pointer, b=modifier
+  AuthFail,       ///< failed AUT*: k1=key, a=pointer, b=modifier
+  Stage2Fault,    ///< stage-2 permission denial: k2=access, a=VA
+  ContextSwitch,  ///< cpu_switch_to: a=prev task struct, b=next task struct
+  HvcCall,        ///< guest→hypervisor call: imm=call nr, a=x0, b=x1
+  ModuleLoad,     ///< HVC LoadModule: a=module id, b=init VA, k1=verify ok
+  MsrDenied,      ///< hypervisor-denied EL1 MSR write: imm=sysreg
+  AttackOutcome,  ///< attack classification: k1=Outcome (0=Hijacked,
+                  ///< 1=Detected, 2=Blocked)
+  kCount,
+};
+
+const char* event_kind_name(EventKind k);
+
+/// One trace record (fixed 40 bytes). `cycles` is the CPU cycle counter at
+/// emission — the global timeline every event shares.
+struct TraceEvent {
+  uint64_t cycles = 0;
+  uint64_t pc = 0;     ///< guest pc associated with the event (0 if none)
+  uint64_t a = 0;      ///< kind-specific (see EventKind)
+  uint64_t b = 0;      ///< kind-specific
+  EventKind kind = EventKind::None;
+  uint8_t el = 0;      ///< exception level at emission
+  uint8_t k1 = 0;      ///< kind-specific small payload (key, class, outcome)
+  uint8_t k2 = 0;      ///< kind-specific small payload (fault kind, EL)
+  uint16_t imm = 0;    ///< kind-specific 16-bit payload (iss, sysreg, nr)
+};
+
+/// Event consumer. Producers treat a null sink as "tracing off".
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& e) = 0;
+};
+
+/// Retired-operation classes for per-class metrics (coarser than isa::Op;
+/// the CPU classifies each retired instruction).
+enum class OpClass : uint8_t {
+  Other = 0,
+  Branch,       ///< B, B.cond, CBZ/CBNZ, BR
+  Call,         ///< BL, BLR
+  Ret,          ///< RET
+  Load,         ///< LDR/LDRB/LDP*
+  Store,        ///< STR/STRB/STP*
+  Pauth,        ///< PAC*/AUT*/XPAC*/PACGA (non-branching forms)
+  PauthBranch,  ///< RETAA/RETAB/BRAA/BRAB/BLRAA/BLRAB
+  Sys,          ///< MRS/MSR/SVC/HVC/BRK/ERET/ISB/DAIF*
+  kCount,
+};
+
+const char* op_class_name(OpClass c);
+
+/// Per-step cycle consumer: called once per CPU step that consumed cycles,
+/// with the pc and EL *before* the step and the cycles the step retired
+/// (instruction cost plus any exception-entry cost). Summing `cycles` over
+/// all calls reproduces Cpu::cycles() exactly.
+class CycleAttributor {
+ public:
+  virtual ~CycleAttributor() = default;
+  virtual void retire(uint64_t pc, uint8_t el, uint8_t op_class,
+                      uint64_t cycles) = 0;
+};
+
+// Label helpers for numeric payloads. These mirror the producer enums
+// (cpu::ExcClass, cpu::PacKey, attacks::Outcome declaration order); a test
+// asserts they stay in sync.
+const char* exc_class_label(uint8_t cls);
+const char* pac_key_label(uint8_t key);
+const char* outcome_label(uint8_t outcome);
+
+}  // namespace camo::obs

@@ -92,6 +92,20 @@ TEST(BruteForce, HigherThresholdAllowsMoreAttempts) {
   EXPECT_EQ(r.pac_failures, 8u);
 }
 
+TEST(BruteForce, TraceAuthFailuresAgreeWithPanicThreshold) {
+  // The obs trace is an independent witness of the §5.4 mitigation: the
+  // AuthFail events the CPU emitted must agree with the kernel's own
+  // failure count, and both must equal the panic threshold.
+  for (const unsigned threshold : {2u, 4u, 8u}) {
+    const auto r = run_bruteforce(ProtectionConfig::full(), threshold,
+                                  threshold + 8);
+    EXPECT_EQ(r.halt_code, kernel::kHaltPacPanic) << r.detail;
+    EXPECT_EQ(r.pac_failures, threshold);
+    EXPECT_EQ(r.trace_auth_failures, threshold)
+        << "trace ring disagrees with the kernel's PAC failure count";
+  }
+}
+
 TEST(TrapframeEscalation, HijacksWithoutTrapframeProtection) {
   // §8: forged saved ELR/SPSR gives ERET-to-EL1 code execution even on a
   // kernel with full pointer protection — saved exception state is data.

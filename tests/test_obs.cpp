@@ -1,0 +1,318 @@
+// camo::obs tests: trace ring semantics, metrics monotonicity, JSON
+// round-trips, and the two accounting invariants the observability layer
+// promises — per-EL cycle counters and the per-symbol profile each sum to
+// exactly Cpu::cycles(), and attaching the collector never changes guest
+// cycle counts (events are free).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "attacks/attacks.h"
+#include "cpu/cpu.h"
+#include "kernel/machine.h"
+#include "kernel/workloads.h"
+#include "obs/chrome_trace.h"
+#include "obs/collector.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/ring.h"
+
+namespace camo::obs {
+namespace {
+
+TraceEvent make_event(EventKind kind, uint64_t cycles) {
+  TraceEvent e;
+  e.kind = kind;
+  e.cycles = cycles;
+  return e;
+}
+
+TEST(TraceRing, KeepsEventsInOrderBeforeWraparound) {
+  TraceRing ring(8);
+  for (uint64_t i = 0; i < 5; ++i)
+    ring.emit(make_event(EventKind::PacSign, i));
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.total(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(ring.at(i).cycles, i);
+}
+
+TEST(TraceRing, WraparoundKeepsNewestAndCountsDropped) {
+  TraceRing ring(8);
+  for (uint64_t i = 0; i < 20; ++i)
+    ring.emit(make_event(EventKind::PacSign, i));
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.total(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  // Oldest retained event is #12, newest #19, still chronological.
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(ring.at(i).cycles, 12 + i);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  EXPECT_EQ(snap.front().cycles, 12u);
+  EXPECT_EQ(snap.back().cycles, 19u);
+}
+
+TEST(TraceRing, CountKind) {
+  TraceRing ring(16);
+  for (int i = 0; i < 3; ++i) ring.emit(make_event(EventKind::AuthFail, i));
+  for (int i = 0; i < 5; ++i) ring.emit(make_event(EventKind::AuthOk, i));
+  EXPECT_EQ(ring.count_kind(EventKind::AuthFail), 3u);
+  EXPECT_EQ(ring.count_kind(EventKind::AuthOk), 5u);
+  EXPECT_EQ(ring.count_kind(EventKind::KeyWrite), 0u);
+}
+
+TEST(Metrics, CountersAreMonotonicAndStable) {
+  Registry reg;
+  Counter& c = reg.counter("a.b");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(reg.value("a.b"), 42u);
+  // Get-or-create returns the same object; references stay valid.
+  reg.counter("zzz").inc();  // force rebalancing of the map
+  EXPECT_EQ(&reg.counter("a.b"), &c);
+  uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    c.inc(static_cast<uint64_t>(i));
+    EXPECT_GE(c.value(), prev);
+    prev = c.value();
+  }
+  EXPECT_EQ(reg.value("unknown"), 0u);
+  EXPECT_FALSE(reg.has_counter("unknown"));
+}
+
+TEST(Metrics, HistogramStats) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  for (const uint64_t v : {1u, 2u, 3u, 100u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 4.0);
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 0u);
+  EXPECT_EQ(Histogram::bucket_index(2), 1u);
+  EXPECT_EQ(Histogram::bucket_index(3), 1u);
+  EXPECT_EQ(Histogram::bucket_index(100), 6u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(6), 1u);
+}
+
+TEST(Json, RoundTrip) {
+  json::Value root = json::Value::object();
+  root.set("name", json::Value("camo"));
+  root.set("count", json::Value(uint64_t{123456789012345ull}));
+  root.set("pi", json::Value(3.25));
+  root.set("on", json::Value(true));
+  json::Value arr = json::Value::array();
+  arr.push(json::Value("a\"b\\c\n"));
+  arr.push(json::Value(uint64_t{0}));
+  root.set("items", std::move(arr));
+
+  const std::string text = root.dump(2);
+  const auto parsed = json::Value::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get("name")->as_string(), "camo");
+  EXPECT_DOUBLE_EQ(parsed->get("count")->as_number(), 123456789012345.0);
+  EXPECT_DOUBLE_EQ(parsed->get("pi")->as_number(), 3.25);
+  EXPECT_TRUE(parsed->get("on")->as_bool());
+  ASSERT_EQ(parsed->get("items")->size(), 2u);
+  EXPECT_EQ(parsed->get("items")->at(0)->as_string(), "a\"b\\c\n");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json::Value::parse("{").has_value());
+  EXPECT_FALSE(json::Value::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(json::Value::parse("[1, 2,]").has_value());
+  EXPECT_FALSE(json::Value::parse("{} trailing").has_value());
+  EXPECT_FALSE(json::Value::parse("nul").has_value());
+  EXPECT_TRUE(json::Value::parse("  {\"a\": [1, 2]}  ").has_value());
+}
+
+TEST(Json, MetricsExportParses) {
+  Registry reg;
+  reg.counter("cycles.el1").inc(100);
+  reg.histogram("syscall.cycles").record(64);
+  const auto parsed = json::Value::parse(reg.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->get("counters")->get("cycles.el1")->as_number(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(parsed->get("histograms")
+                       ->get("syscall.cycles")
+                       ->get("count")
+                       ->as_number(),
+                   1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Label tables in obs mirror the producer-side enums by declaration order.
+// obs cannot include cpu/attacks headers (it sits below them), so these
+// tests are the contract that keeps the integer payloads decodable.
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+TEST(ObsLabels, ExcClassMatchesCpuEnum) {
+  for (uint8_t i = 0; i <= static_cast<uint8_t>(cpu::ExcClass::Irq); ++i)
+    EXPECT_STREQ(exc_class_label(i),
+                 cpu::exc_class_name(static_cast<cpu::ExcClass>(i)))
+        << "ExcClass " << int(i);
+}
+
+TEST(ObsLabels, PacKeyMatchesCpuEnum) {
+  for (uint8_t i = 0; i <= static_cast<uint8_t>(cpu::PacKey::GA); ++i)
+    EXPECT_EQ(pac_key_label(i),
+              lower(cpu::pac_key_name(static_cast<cpu::PacKey>(i))))
+        << "PacKey " << int(i);
+}
+
+TEST(ObsLabels, OutcomeMatchesAttacksEnum) {
+  for (uint8_t i = 0; i <= static_cast<uint8_t>(attacks::Outcome::Blocked);
+       ++i)
+    EXPECT_EQ(outcome_label(i),
+              lower(attacks::outcome_name(static_cast<attacks::Outcome>(i))))
+        << "Outcome " << int(i);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-level invariants.
+
+kernel::MachineConfig observed_config() {
+  kernel::MachineConfig cfg;
+  cfg.kernel.protection = compiler::ProtectionConfig::full();
+  cfg.kernel.log_pac_failures = false;
+  cfg.obs.enabled = true;
+  return cfg;
+}
+
+TEST(Observability, ElCycleCountersSumToCpuCycles) {
+  kernel::Machine m(observed_config());
+  m.add_user_program(kernel::workloads::null_syscall(50));
+  m.boot();
+  ASSERT_TRUE(m.run());
+  ASSERT_NE(m.stats(), nullptr);
+  const Registry& reg = m.stats()->metrics();
+  const uint64_t total = reg.value("cycles.el0") + reg.value("cycles.el1") +
+                         reg.value("cycles.el2");
+  EXPECT_EQ(total, m.cpu().cycles());
+  const uint64_t insns = reg.value("insn.el0") + reg.value("insn.el1") +
+                         reg.value("insn.el2");
+  EXPECT_EQ(insns, m.cpu().instret());
+}
+
+TEST(Observability, FlatProfileAccountsForEveryCycle) {
+  kernel::Machine m(observed_config());
+  m.add_user_program(kernel::workloads::read_file(20, 64, kernel::FileKind::Null));
+  m.boot();
+  ASSERT_TRUE(m.run());
+  const Profiler& prof = m.stats()->profiler();
+  EXPECT_EQ(prof.total_cycles(), m.cpu().cycles());
+  EXPECT_EQ(prof.total_retires(), m.cpu().instret());
+  // The kernel's syscall path must be attributed to real symbols, not the
+  // [other] catch-all.
+  uint64_t named = 0;
+  for (const auto& r : prof.entries())
+    if (r.name != "[other]") named += r.cycles;
+  EXPECT_GT(named, m.cpu().cycles() / 2);
+}
+
+TEST(Observability, AttachingCollectorDoesNotChangeGuestCycles) {
+  const auto run_once = [](bool enabled) {
+    kernel::MachineConfig cfg = observed_config();
+    cfg.obs.enabled = enabled;
+    kernel::Machine m(cfg);
+    m.add_user_program(kernel::workloads::null_syscall(30));
+    m.boot();
+    EXPECT_TRUE(m.run());
+    return std::pair<uint64_t, uint64_t>(m.cpu().cycles(), m.cpu().instret());
+  };
+  const auto off = run_once(false);
+  const auto on = run_once(true);
+  EXPECT_EQ(off.first, on.first);
+  EXPECT_EQ(off.second, on.second);
+}
+
+TEST(Observability, SyscallWindowsAreSynthesized) {
+  kernel::Machine m(observed_config());
+  m.add_user_program(kernel::workloads::null_syscall(25));
+  m.boot();
+  ASSERT_TRUE(m.run());
+  const Collector& st = *m.stats();
+  const uint64_t enters = st.ring().count_kind(EventKind::SyscallEnter);
+  const uint64_t exits = st.ring().count_kind(EventKind::SyscallExit);
+  // 25 benchmark syscalls plus the final exit; every window that closed did
+  // so exactly once.
+  EXPECT_GE(enters, 25u);
+  EXPECT_LE(exits, enters);
+  EXPECT_GE(exits, 25u);
+  const Histogram* lat = st.metrics().find_histogram("syscall.cycles");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), exits);
+  EXPECT_GT(lat->min(), 0u);
+  // The metrics view agrees with the trace view.
+  EXPECT_EQ(st.metrics().value("syscall.count"), enters);
+}
+
+TEST(Observability, KeySwitchAndSignEventsAppear) {
+  kernel::Machine m(observed_config());
+  m.add_user_program(kernel::workloads::null_syscall(5));
+  m.boot();
+  ASSERT_TRUE(m.run());
+  const Collector& st = *m.stats();
+  // The full-protection entry path switches keys on every kernel entry and
+  // the instrumented prologues sign return addresses.
+  EXPECT_GT(st.ring().count_kind(EventKind::KeyWrite), 0u);
+  EXPECT_GT(st.metrics().value("key.write"), 0u);
+  EXPECT_GT(st.metrics().value("pauth.sign"), 0u);
+  EXPECT_GT(st.metrics().value("pauth.auth.ok"), 0u);
+  EXPECT_EQ(st.metrics().value("pauth.auth.fail"), 0u);
+  EXPECT_GT(st.metrics().value("ops.pauth"), 0u);
+}
+
+TEST(Observability, ChromeTraceExportIsValidAndBalanced) {
+  kernel::Machine m(observed_config());
+  m.add_user_program(kernel::workloads::null_syscall(10));
+  m.boot();
+  ASSERT_TRUE(m.run());
+  const std::string text = m.stats()->chrome_trace_json();
+  const auto doc = json::Value::parse(text);
+  ASSERT_TRUE(doc.has_value()) << "chrome trace is not valid JSON";
+  const json::Value* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->size(), 0u);
+  uint64_t begins = 0, ends = 0;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const json::Value& e = *events->at(i);
+    ASSERT_NE(e.get("ph"), nullptr);
+    const std::string ph = e.get("ph")->as_string();
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "B" || ph == "E" || ph == "i") {
+      ASSERT_NE(e.get("ts"), nullptr);
+      ASSERT_NE(e.get("pid"), nullptr);
+      ASSERT_NE(e.get("tid"), nullptr);
+    }
+  }
+  EXPECT_EQ(begins, ends) << "unbalanced B/E spans break trace viewers";
+}
+
+TEST(Observability, DisabledMachineHasNoCollector) {
+  kernel::MachineConfig cfg;
+  cfg.kernel.protection = compiler::ProtectionConfig::full();
+  cfg.kernel.log_pac_failures = false;
+  kernel::Machine m(cfg);
+  m.add_user_program(kernel::workloads::null_syscall(3));
+  m.boot();
+  ASSERT_TRUE(m.run());
+  EXPECT_EQ(m.stats(), nullptr);
+}
+
+}  // namespace
+}  // namespace camo::obs
