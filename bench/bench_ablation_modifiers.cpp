@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
 
   // Sample contexts: 16 threads, stacks 64 KiB apart; 64 kernel functions;
   // call depths multiple of 16 bytes within a 16 KiB stack.
-  Xoshiro256 rng(2024);
+  Xoshiro256 rng(session.seed(2024));
   std::vector<Context> contexts;
   const uint64_t stack_base = 0xFFFF000000400000ull;
   const uint64_t text_base = 0xFFFF000000082000ull;

@@ -118,10 +118,11 @@ int main(int argc, char** argv) {
               "double-digit %% overheads)\n",
               std::exp(geo_back / n), std::exp(geo_full / n));
 
-  // --trace <path>: rerun one workload with the obs collector attached and
-  // dump the Chrome trace_event JSON (chrome://tracing / Perfetto) plus the
-  // flat per-symbol cycle profile.
-  if (!s.trace_path().empty()) {
+  // --trace <path> / --folded <path>: rerun one workload with the obs
+  // collector attached and dump the Chrome trace_event JSON
+  // (chrome://tracing / Perfetto), the flat per-symbol cycle profile, and/or
+  // the folded call-stack profile (flamegraph.pl / speedscope input).
+  if (!s.trace_path().empty() || !s.folded_path().empty()) {
     const auto r = bench::run_workload(compiler::ProtectionConfig::full(),
                                        make_read(), 400'000'000,
                                        /*collect=*/true);
@@ -137,11 +138,27 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(r.total));
       return 1;
     }
-    std::ofstream out(s.trace_path());
-    out << r.trace_json << "\n";
-    std::printf("\n[chrome trace -> %s]\n", s.trace_path().c_str());
-    std::printf("\nflat profile (read syscall workload, full protection):\n%s",
-                r.flat_profile.c_str());
+    if (r.callgraph_cycles != r.total) {
+      std::fprintf(
+          stderr,
+          "call graph does not account for all cycles: %llu != %llu\n",
+          static_cast<unsigned long long>(r.callgraph_cycles),
+          static_cast<unsigned long long>(r.total));
+      return 1;
+    }
+    if (!s.trace_path().empty()) {
+      std::ofstream out(s.trace_path());
+      out << r.trace_json << "\n";
+      std::printf("\n[chrome trace -> %s]\n", s.trace_path().c_str());
+      std::printf(
+          "\nflat profile (read syscall workload, full protection):\n%s",
+          r.flat_profile.c_str());
+    }
+    if (!s.folded_path().empty()) {
+      std::ofstream out(s.folded_path());
+      out << r.folded;
+      std::printf("\n[folded stacks -> %s]\n", s.folded_path().c_str());
+    }
   }
   return s.finish();
 }

@@ -9,15 +9,19 @@
 //
 // Every bench binary drives a bench::Session, which
 //   * prints the figure header,
-//   * parses the shared flags (--json <path>, --smoke, --trace <path>) and
-//     compacts them out of argv so binaries with their own flag parsing
-//     (bench_qarma) still work,
+//   * parses the shared flags (--json <path>, --smoke, --trace <path>,
+//     --folded <path>, --seed <u64>) and compacts them out of argv so
+//     binaries with their own flag parsing (bench_qarma) still work; a
+//     value-taking flag with a missing or malformed value is a hard error
+//     (exit 2), never silently dropped,
 //   * collects every reported measurement as a (config, benchmark, value,
 //     unit[, relative]) series point, and
 //   * on finish() writes the machine-readable BENCH JSON document
-//     (schema "camo-bench/v1"), re-parses it and validates the schema —
-//     a malformed or empty series makes the binary exit non-zero, which is
-//     what the ctest bench_smoke targets check.
+//     (schema "camo-bench/v1", see obs/bench_schema.h), re-parses it and
+//     validates the schema — a malformed or empty series makes the binary
+//     exit non-zero, which is what the ctest bench_smoke targets check.
+//     The emitted document records the RNG seed when the bench used one, so
+//     a baseline recording (bench/baselines/) is reproducible bit-for-bit.
 #pragma once
 
 #include <cstdio>
@@ -29,6 +33,7 @@
 
 #include "compiler/instrument.h"
 #include "kernel/machine.h"
+#include "obs/bench_schema.h"
 #include "obs/json.h"
 
 namespace camo::bench {
@@ -60,21 +65,27 @@ struct RunCycles {
   // Populated only when run with `collect = true`:
   std::string trace_json;    ///< Chrome trace_event JSON of the run
   std::string flat_profile;  ///< per-symbol cycle profile (text)
-  uint64_t profile_cycles = 0;  ///< profiler total (== total by invariant)
+  std::string folded;        ///< folded-stack call-graph profile
+  uint64_t profile_cycles = 0;    ///< flat-profiler total (== total)
+  uint64_t callgraph_cycles = 0;  ///< call-graph total (== total)
 };
 
 /// Build a machine with `prot`, add the given user programs, run to halt and
 /// report cycles. The workload window starts when EL0 first executes. With
 /// `collect`, the machine runs with the obs collector attached and the
-/// result carries the Chrome trace and the flat cycle profile.
+/// result carries the Chrome trace, the flat cycle profile and the folded
+/// call-graph profile. `seed` is the machine's boot entropy (kernel + user
+/// PAuth keys); it never affects the cycle counts, only the key material.
 inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
                               std::vector<obj::Program> programs,
                               uint64_t max_steps = 400'000'000,
-                              bool collect = false) {
+                              bool collect = false,
+                              uint64_t seed = kernel::MachineConfig{}.seed) {
   kernel::MachineConfig cfg;
   cfg.kernel.protection = prot;
   cfg.kernel.log_pac_failures = false;
   cfg.obs.enabled = collect;
+  cfg.seed = seed;
   kernel::Machine m(cfg);
   for (auto& p : programs) m.add_user_program(std::move(p));
   m.boot();
@@ -90,80 +101,134 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
   if (obs::Collector* st = m.stats()) {
     r.trace_json = st->chrome_trace_json();
     r.flat_profile = st->flat_profile();
+    r.folded = st->folded_profile();
     r.profile_cycles = st->profiler().total_cycles();
+    r.callgraph_cycles = st->callgraph().total_cycles();
   }
   return r;
 }
 
 /// One measurement in the emitted series.
-struct SeriesPoint {
-  std::string config;     ///< protection/config axis ("none", "full", ...)
-  std::string benchmark;  ///< benchmark axis ("null syscall", ...)
-  double value = 0;
-  std::string unit;  ///< "cycles", "ns", "cycles/op", "ratio", ...
-  std::optional<double> relative;  ///< vs the baseline config, when meaningful
-};
+using SeriesPoint = obs::BenchSeriesPoint;
 
 /// Validate a parsed BENCH JSON document against the camo-bench/v1 schema.
 /// Returns an empty string when valid, else a description of the problem.
+/// (Forwarder kept for existing callers; the schema lives in camo::obs.)
 inline std::string validate_bench_json(const obs::json::Value& doc) {
-  if (!doc.is_object()) return "document is not a JSON object";
-  const auto* schema = doc.get("schema");
-  if (!schema || !schema->is_string() ||
-      schema->as_string() != "camo-bench/v1")
-    return "missing or wrong \"schema\" (want \"camo-bench/v1\")";
-  for (const char* key : {"bench", "title"}) {
-    const auto* v = doc.get(key);
-    if (!v || !v->is_string() || v->as_string().empty())
-      return std::string("missing string field \"") + key + "\"";
-  }
-  const auto* smoke = doc.get("smoke");
-  if (!smoke || !smoke->is_bool()) return "missing bool field \"smoke\"";
-  const auto* series = doc.get("series");
-  if (!series || !series->is_array()) return "missing \"series\" array";
-  if (series->size() == 0) return "empty series";
-  for (size_t i = 0; i < series->size(); ++i) {
-    const auto* p = series->at(i);
-    const std::string at = "series[" + std::to_string(i) + "]";
-    if (!p->is_object()) return at + " is not an object";
-    for (const char* key : {"config", "benchmark", "unit"}) {
-      const auto* v = p->get(key);
-      if (!v || !v->is_string())
-        return at + " missing string field \"" + key + "\"";
-    }
-    const auto* value = p->get("value");
-    if (!value || !value->is_number())
-      return at + " missing number field \"value\"";
-    const auto* rel = p->get("relative");
-    if (rel && !rel->is_number()) return at + " \"relative\" is not a number";
-  }
-  return "";
+  return obs::validate_bench_json(doc);
 }
 
 /// Per-binary bench driver; see the header comment.
 class Session {
  public:
+  /// The shared flags, parsed out of argv. Split from the Session so the
+  /// parsing is unit-testable without a process exit.
+  struct Flags {
+    std::string json_path;
+    std::string trace_path;
+    std::string folded_path;
+    std::optional<uint64_t> seed;
+    bool smoke = false;
+  };
+
+  /// Parse and compact the shared flags out of argv. Returns an empty
+  /// string on success, else the error message (argv is left compacted up
+  /// to the point of failure; callers should treat it as consumed).
+  static std::string parse_flags(int& argc, char** argv, Flags& out) {
+    int kept = 1;
+    std::string error;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      // --flag <value> or --flag=<value>; empty/missing values are errors.
+      const auto take_value = [&](const char* flag, std::string& dst,
+                                  bool& matched) -> bool {
+        matched = false;
+        const std::string eq = std::string(flag) + "=";
+        if (arg == flag) {
+          matched = true;
+          if (i + 1 >= argc) {
+            error = std::string(flag) + " requires a value";
+            return false;
+          }
+          dst = argv[++i];
+        } else if (arg.rfind(eq, 0) == 0) {
+          matched = true;
+          dst = arg.substr(eq.size());
+        } else {
+          return false;
+        }
+        if (dst.empty()) {
+          error = std::string(flag) + " requires a non-empty value";
+          return false;
+        }
+        return true;
+      };
+      if (arg == "--smoke") {
+        out.smoke = true;
+        continue;
+      }
+      bool matched = false;
+      std::string seed_text;
+      if (take_value("--json", out.json_path, matched)) continue;
+      if (matched) break;
+      if (take_value("--trace", out.trace_path, matched)) continue;
+      if (matched) break;
+      if (take_value("--folded", out.folded_path, matched)) continue;
+      if (matched) break;
+      if (take_value("--seed", seed_text, matched)) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(seed_text.c_str(), &end, 0);
+        if (end == seed_text.c_str() || *end != '\0') {
+          error = "--seed wants an unsigned integer, got \"" + seed_text + "\"";
+          break;
+        }
+        out.seed = static_cast<uint64_t>(v);
+        continue;
+      }
+      if (matched) break;
+      argv[kept++] = argv[i];  // not ours: keep for the binary's own parser
+    }
+    if (error.empty()) {
+      argc = kept;
+      argv[argc] = nullptr;
+    }
+    return error;
+  }
+
   Session(int& argc, char** argv, std::string bench_id, std::string title,
           std::string paper_claim)
       : bench_id_(std::move(bench_id)), title_(std::move(title)) {
-    parse_flags(argc, argv);
+    const std::string err = parse_flags(argc, argv, flags_);
+    if (!err.empty()) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      std::exit(2);
+    }
     std::printf(
         "\n================================================================\n");
     std::printf("%s — %s%s\n", bench_id_.c_str(), title_.c_str(),
-                smoke_ ? "  [smoke]" : "");
+                flags_.smoke ? "  [smoke]" : "");
     std::printf("paper: %s\n", paper_claim.c_str());
     std::printf(
         "================================================================\n");
   }
 
-  bool smoke() const { return smoke_; }
+  bool smoke() const { return flags_.smoke; }
   /// Iteration-count helper: the full count normally, the reduced count
   /// under --smoke (ctest wants the schema checked, not the statistics).
   uint64_t iters(uint64_t full, uint64_t reduced) const {
-    return smoke_ ? reduced : full;
+    return flags_.smoke ? reduced : full;
   }
-  const std::string& json_path() const { return json_path_; }
-  const std::string& trace_path() const { return trace_path_; }
+  const std::string& json_path() const { return flags_.json_path; }
+  const std::string& trace_path() const { return flags_.trace_path; }
+  const std::string& folded_path() const { return flags_.folded_path; }
+
+  /// The RNG seed for this run: the --seed value when given, else
+  /// `fallback`. Whichever is returned is recorded in the emitted JSON, so
+  /// the artifact says how to reproduce itself.
+  uint64_t seed(uint64_t fallback) {
+    if (!flags_.seed) flags_.seed = fallback;
+    return *flags_.seed;
+  }
 
   void add(std::string config, std::string benchmark, double value,
            std::string unit,
@@ -180,13 +245,14 @@ class Session {
                    bench_id_.c_str());
       return 1;
     }
-    if (json_path_.empty()) return 0;
+    if (flags_.json_path.empty()) return 0;
 
     obs::json::Value doc = obs::json::Value::object();
-    doc.set("schema", obs::json::Value("camo-bench/v1"));
+    doc.set("schema", obs::json::Value(obs::kBenchSchemaId));
     doc.set("bench", obs::json::Value(bench_id_));
     doc.set("title", obs::json::Value(title_));
-    doc.set("smoke", obs::json::Value(smoke_));
+    doc.set("smoke", obs::json::Value(flags_.smoke));
+    if (flags_.seed) doc.set("seed", obs::json::Value(*flags_.seed));
     obs::json::Value series = obs::json::Value::array();
     for (const SeriesPoint& p : series_) {
       obs::json::Value pt = obs::json::Value::object();
@@ -200,10 +266,10 @@ class Session {
     doc.set("series", std::move(series));
 
     {
-      std::ofstream out(json_path_);
+      std::ofstream out(flags_.json_path);
       if (!out) {
         std::fprintf(stderr, "%s: cannot write %s\n", bench_id_.c_str(),
-                     json_path_.c_str());
+                     flags_.json_path.c_str());
         return 1;
       }
       out << doc.dump(2) << "\n";
@@ -211,65 +277,20 @@ class Session {
 
     // Self-check: re-read the artifact and validate the schema, so a broken
     // writer fails the bench (and the ctest smoke target) immediately.
-    std::ifstream in(json_path_);
-    std::string text((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
-    const auto parsed = obs::json::Value::parse(text);
-    if (!parsed) {
-      std::fprintf(stderr, "%s: emitted JSON does not parse\n",
-                   bench_id_.c_str());
-      return 1;
-    }
-    const std::string err = validate_bench_json(*parsed);
-    if (!err.empty()) {
+    std::string err;
+    if (!obs::load_bench_file(flags_.json_path, &err)) {
       std::fprintf(stderr, "%s: emitted JSON fails schema check: %s\n",
                    bench_id_.c_str(), err.c_str());
       return 1;
     }
     std::printf("\n[%zu series points -> %s]\n", series_.size(),
-                json_path_.c_str());
+                flags_.json_path.c_str());
     return 0;
   }
 
  private:
-  void parse_flags(int& argc, char** argv) {
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto take_value = [&](const char* flag,
-                                  std::string& dst) -> bool {
-        const std::string eq = std::string(flag) + "=";
-        if (arg == flag && i + 1 < argc) {
-          dst = argv[++i];
-          return true;
-        }
-        if (arg.rfind(eq, 0) == 0) {
-          dst = arg.substr(eq.size());
-          return true;
-        }
-        return false;
-      };
-      if (arg == "--smoke") {
-        smoke_ = true;
-        continue;
-      }
-      if (arg == "--json" || arg == "--trace") {
-        if (i + 1 >= argc) {
-          std::fprintf(stderr, "error: %s requires a path\n", arg.c_str());
-          std::exit(2);
-        }
-      }
-      if (take_value("--json", json_path_)) continue;
-      if (take_value("--trace", trace_path_)) continue;
-      argv[out++] = argv[i];  // not ours: keep for the binary's own parser
-    }
-    argc = out;
-    argv[argc] = nullptr;
-  }
-
   std::string bench_id_, title_;
-  std::string json_path_, trace_path_;
-  bool smoke_ = false;
+  Flags flags_;
   std::vector<SeriesPoint> series_;
 };
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in perf baselines (bench/baselines/*.json) that the
+# `perf_gate` ctest label diffs fresh runs against with camo-perfdiff.
+#
+# Run after an *intentional* change to the cycle model, the instrumentation,
+# or a workload — then review the camo-perfdiff output in the diff and
+# commit the new baselines together with the change that explains them.
+#
+# Usage: bench/refresh_baselines.sh [build-dir]   (default: build)
+#
+# bench_qarma is skipped on purpose: it times host QARMA code with
+# google-benchmark wall-clock, which is not reproducible across machines.
+# Every other bench reports deterministic simulated cycles; --seed pins the
+# one bench whose *sampling* (not timing) uses an RNG.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir=${1:-build}
+out_dir=bench/baselines
+seed=2024
+
+if [[ ! -d "$build_dir" ]]; then
+  echo "error: build dir '$build_dir' not found; configure and build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 2
+fi
+
+benches=(
+  bench_fig2_call_overhead
+  bench_keyswitch
+  bench_fig3_lmbench
+  bench_fig4_userspace
+  bench_tables_valayout
+  bench_security_matrix
+  bench_bruteforce
+  bench_ablation_modifiers
+  bench_census
+  bench_instruction_mix
+)
+
+mkdir -p "$out_dir"
+for b in "${benches[@]}"; do
+  bin="$build_dir/bench/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    exit 2
+  fi
+  echo "== $b"
+  "$bin" --smoke --seed "$seed" --json "$out_dir/$b.json" > /dev/null
+done
+
+echo
+echo "Baselines refreshed in $out_dir/. Check the gate is self-consistent:"
+if [[ -x "$build_dir/tools/camo-perfdiff" ]]; then
+  "$build_dir/tools/camo-perfdiff" --threshold 5 "$out_dir" "$out_dir"
+else
+  echo "  (camo-perfdiff not built; run ctest -L perf_gate instead)"
+fi

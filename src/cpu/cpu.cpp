@@ -294,6 +294,9 @@ void Cpu::take_exception(ExcClass cls, uint64_t far, uint16_t iss,
   pc = sys_[static_cast<size_t>(SysReg::VBAR_EL1)] + offset;
   cycles_ += 12;  // exception entry microarchitectural cost
 
+  if (cf_)
+    cf_->control_flow(obs::CfKind::ExcEnter, preferred_return, pc,
+                      static_cast<uint8_t>(cls));
   if (sink_) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::ExcEnter;
@@ -320,6 +323,7 @@ void Cpu::take_exception(ExcClass cls, uint64_t far, uint16_t iss,
 }
 
 void Cpu::do_eret() {
+  const uint64_t eret_pc = pc - 4;  // pc was already advanced past the ERET
   const uint64_t spsr = sys_[static_cast<size_t>(SysReg::SPSR_EL1)];
   pstate.el = static_cast<El>(spsr & 0x3);
   pstate.irq_masked = (spsr >> 7) & 1;
@@ -329,6 +333,9 @@ void Cpu::do_eret() {
   pstate.v = (spsr >> 28) & 1;
   pc = sys_[static_cast<size_t>(SysReg::ELR_EL1)];
 
+  if (cf_)
+    cf_->control_flow(obs::CfKind::ExcExit, eret_pc, pc,
+                      static_cast<uint8_t>(pstate.el));
   if (sink_) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::ExcExit;
@@ -774,6 +781,7 @@ void Cpu::execute(const Inst& inst) {
     case Op::BL:
       set_x(isa::kRegLr, iaddr + 4);
       pc = iaddr + static_cast<uint64_t>(inst.imm);
+      if (cf_) cf_->control_flow(obs::CfKind::Call, iaddr, pc, 0);
       break;
     case Op::BCOND:
       if (cond_holds(inst.cond, pstate))
@@ -791,11 +799,13 @@ void Cpu::execute(const Inst& inst) {
     case Op::BLR:
       set_x(isa::kRegLr, iaddr + 4);
       pc = x(inst.rn);
+      if (cf_) cf_->control_flow(obs::CfKind::Call, iaddr, pc, 0);
       break;
     case Op::RET:
       // The assembler always encodes the target register explicitly (LR for
       // a plain `ret`).
       pc = x(inst.rn);
+      if (cf_) cf_->control_flow(obs::CfKind::Ret, iaddr, pc, 0);
       break;
 
     // ---- PAuth combined branches ----
@@ -817,6 +827,7 @@ void Cpu::execute(const Inst& inst) {
       if (faulted) break;
       if (link) set_x(isa::kRegLr, iaddr + 4);
       pc = target;
+      if (link && cf_) cf_->control_flow(obs::CfKind::Call, iaddr, pc, 0);
       break;
     }
     case Op::RETAA:
@@ -830,7 +841,10 @@ void Cpu::execute(const Inst& inst) {
           do_aut(x(isa::kRegLr), sp(),
                  inst.op == Op::RETAB ? PacKey::IB : PacKey::IA, inst.op,
                  faulted);
-      if (!faulted) pc = target;
+      if (!faulted) {
+        pc = target;
+        if (cf_) cf_->control_flow(obs::CfKind::Ret, iaddr, pc, 0);
+      }
       break;
     }
 

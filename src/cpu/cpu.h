@@ -166,6 +166,11 @@ class Cpu {
   /// Per-step cycle attribution feed (EL residency, per-symbol profiling).
   /// Summing the reported cycles reproduces cycles() exactly.
   void set_cycle_attributor(obs::CycleAttributor* a) { attr_ = a; }
+  /// Control-flow feed for shadow-call-stack maintenance: linking calls,
+  /// returns, exception entry/exit. Null (the default) disables emission;
+  /// attaching a sink never changes simulated cycle counts.
+  void set_cf_sink(obs::CfSink* s) { cf_ = s; }
+  obs::CfSink* cf_sink() const { return cf_; }
 
   /// Coarse class of an opcode for per-class retired-op metrics.
   static obs::OpClass op_class(isa::Op op);
@@ -235,6 +240,7 @@ class Cpu {
 
   obs::TraceSink* sink_ = nullptr;
   obs::CycleAttributor* attr_ = nullptr;
+  obs::CfSink* cf_ = nullptr;
   obs::OpClass step_op_class_ = obs::OpClass::Other;  // scratch, set per step
 };
 

@@ -86,21 +86,27 @@ void Machine::attach_observability() {
   stats_ = std::make_unique<obs::Collector>(cfg_.obs);
   cpu_.set_trace_sink(stats_.get());
   cpu_.set_cycle_attributor(stats_.get());
+  if (cfg_.obs.callgraph) cpu_.set_cf_sink(stats_.get());
   hv_.set_trace_sink(stats_.get());
 
-  if (cfg_.obs.profile) {
-    auto& prof = stats_->profiler();
+  if (cfg_.obs.profile || cfg_.obs.callgraph) {
+    const auto add_region = [&](const std::string& name, uint64_t start,
+                                uint64_t end) {
+      if (cfg_.obs.profile) stats_->profiler().add_region(name, start, end);
+      if (cfg_.obs.callgraph)
+        stats_->callgraph().add_region(name, start, end);
+    };
     const obj::Image& img = boot_->kernel_image;
     for (const auto& [name, size] : img.function_sizes) {
       const uint64_t va = img.symbol(name);
-      prof.add_region(name, va, va + size);
+      add_region(name, va, va + size);
     }
     // User programs all link at kUserBase in separate address spaces, so
     // their texts overlap in VA; profile them as one aggregate region.
     uint64_t user_end = 0;
     for (const auto& u : user_images_)
       if (u.end_va() > user_end) user_end = u.end_va();
-    if (user_end > kUserBase) prof.add_region("[user]", kUserBase, user_end);
+    if (user_end > kUserBase) add_region("[user]", kUserBase, user_end);
   }
 
   if (boot_->kernel_image.has_symbol(kSymCpuSwitchTo)) {

@@ -1,0 +1,200 @@
+#include "obs/callgraph.h"
+
+#include <algorithm>
+
+#include <cstddef>
+
+#include "support/format.h"
+
+namespace camo::obs {
+
+void CallGraphProfiler::add_region(std::string name, uint64_t start,
+                                   uint64_t end) {
+  const size_t idx = index_.add(std::move(name), start, end);
+  if (idx == RegionIndex::kNone) return;
+  // Name ids are interned lazily so unexecuted symbols cost nothing.
+  region_names_.insert(region_names_.begin() + static_cast<ptrdiff_t>(idx),
+                       -1);
+}
+
+int CallGraphProfiler::intern(const std::string& name) {
+  const auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(name);
+  name_ids_.emplace(name, id);
+  return id;
+}
+
+int CallGraphProfiler::intern_region(uint64_t pc) {
+  const size_t idx = index_.find(pc);
+  if (idx == RegionIndex::kNone) {
+    if (other_name_ < 0) other_name_ = intern("[other]");
+    return other_name_;
+  }
+  if (region_names_[idx] < 0) region_names_[idx] = intern(index_[idx].name);
+  return region_names_[idx];
+}
+
+int CallGraphProfiler::child(int node, int name, bool exc) {
+  if (nodes_.empty()) nodes_.push_back(Node{});  // root
+  const auto it = nodes_[node].children.find(name);
+  if (it != nodes_[node].children.end()) return it->second;
+  const int id = static_cast<int>(nodes_.size());
+  Node n;
+  n.name = name;
+  n.parent = node;
+  n.exc = exc;
+  nodes_.push_back(std::move(n));
+  nodes_[node].children.emplace(name, id);
+  return id;
+}
+
+void CallGraphProfiler::control_flow(CfKind kind, uint64_t /*from_pc*/,
+                                     uint64_t to_pc, uint8_t info) {
+  pending_.push_back(PendingCf{kind, to_pc, info});
+}
+
+void CallGraphProfiler::apply(const PendingCf& cf) {
+  switch (cf.kind) {
+    case CfKind::Call: {
+      if (stack_.size() >= kMaxDepth) {
+        ++overflow_;
+        break;
+      }
+      stack_.push_back(child(current(), intern_region(cf.to_pc), false));
+      break;
+    }
+    case CfKind::Ret: {
+      if (overflow_ > 0) {
+        --overflow_;
+        break;
+      }
+      // Only call frames pop on RET; an exception frame on top means the
+      // shadow stack and the guest disagree (corrupted or hand-written
+      // control flow) — leave it for the matching ERET.
+      if (!stack_.empty() && !nodes_[stack_.back()].exc) stack_.pop_back();
+      break;
+    }
+    case CfKind::ExcEnter: {
+      if (stack_.size() >= kMaxDepth) {
+        ++overflow_;
+        break;
+      }
+      const int name =
+          intern(std::string("[exc:") + exc_class_label(cf.info) + "]");
+      stack_.push_back(child(current(), name, true));
+      break;
+    }
+    case CfKind::ExcExit: {
+      // Unwind through the innermost exception frame. An ERET with no
+      // exception frame below it (the boot path's first drop to EL0) leaves
+      // the stack alone.
+      overflow_ = 0;
+      const auto it =
+          std::find_if(stack_.rbegin(), stack_.rend(),
+                       [&](int n) { return nodes_[n].exc; });
+      if (it != stack_.rend())
+        stack_.resize(stack_.size() -
+                      static_cast<size_t>(it - stack_.rbegin()) - 1);
+      break;
+    }
+  }
+}
+
+void CallGraphProfiler::retire(uint64_t pc, uint8_t /*el*/,
+                               uint8_t /*op_class*/, uint64_t cycles) {
+  if (nodes_.empty()) nodes_.push_back(Node{});  // root
+  // Attribute to the stack as it stood *before* this step's control-flow
+  // events: a BL's cycles belong to the caller.
+  int target;
+  if (overflow_ > 0) {
+    if (truncated_name_ < 0) truncated_name_ = intern("[truncated]");
+    target = child(current(), truncated_name_, false);
+  } else if (stack_.empty()) {
+    // Nothing called this code (boot entry, or every frame returned): the
+    // leaf becomes the base frame so subsequent calls nest under it.
+    stack_.push_back(child(0, intern_region(pc), false));
+    target = stack_.back();
+  } else {
+    const int leaf = intern_region(pc);
+    const int cur = current();
+    // Self-heal: when pc sits outside the top frame's region (tail jumps,
+    // mismatched returns), attribute to an appended leaf without pushing.
+    target = nodes_[cur].name == leaf ? cur : child(cur, leaf, false);
+  }
+  nodes_[target].cycles += cycles;
+  ++nodes_[target].retires;
+  total_cycles_ += cycles;
+  ++total_retires_;
+
+  for (const PendingCf& cf : pending_) apply(cf);
+  pending_.clear();
+}
+
+size_t CallGraphProfiler::hot_node_count() const {
+  size_t n = 0;
+  for (const Node& node : nodes_)
+    if (node.cycles || node.retires) ++n;
+  return n;
+}
+
+void CallGraphProfiler::collect_lines(
+    std::vector<std::pair<std::string, uint64_t>>& out, char sep) const {
+  for (const Node& node : nodes_) {
+    if (!node.cycles && !node.retires) continue;
+    if (node.name < 0) continue;  // root never holds cycles, but be safe
+    // Build the path root→node.
+    std::vector<int> path;
+    for (const Node* n = &node; n->name >= 0; n = &nodes_[n->parent])
+      path.push_back(n->name);
+    std::string line;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      if (!line.empty()) line += sep;
+      line += names_[static_cast<size_t>(*it)];
+    }
+    out.emplace_back(std::move(line), node.cycles);
+  }
+}
+
+std::string CallGraphProfiler::folded(char sep) const {
+  std::vector<std::pair<std::string, uint64_t>> lines;
+  collect_lines(lines, sep);
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& [stack, cycles] : lines)
+    out += strformat("%s %llu\n", stack.c_str(),
+                     static_cast<unsigned long long>(cycles));
+  return out;
+}
+
+std::string CallGraphProfiler::top_stacks(size_t n) const {
+  std::vector<std::pair<std::string, uint64_t>> lines;
+  collect_lines(lines, ';');
+  std::sort(lines.begin(), lines.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (lines.size() > n) lines.resize(n);
+  std::string out = strformat("%12s  %6s  %s\n", "cycles", "%", "stack");
+  for (const auto& [stack, cycles] : lines) {
+    const double pct = total_cycles_
+                           ? 100.0 * static_cast<double>(cycles) /
+                                 static_cast<double>(total_cycles_)
+                           : 0.0;
+    out += strformat("%12llu  %5.1f%%  %s\n",
+                     static_cast<unsigned long long>(cycles), pct,
+                     stack.c_str());
+  }
+  return out;
+}
+
+void CallGraphProfiler::clear() {
+  nodes_.clear();
+  stack_.clear();
+  pending_.clear();
+  overflow_ = 0;
+  total_cycles_ = 0;
+  total_retires_ = 0;
+}
+
+}  // namespace camo::obs

@@ -1,0 +1,118 @@
+// CallGraphProfiler: hierarchical, call-stack-aware cycle attribution.
+//
+// The flat profiler answers "which symbol is hot"; this one answers "which
+// *path* is hot" — the distinction the paper's evaluation lives on (PACIA
+// cycles on the syscall path vs. the context-switch path, §6). It maintains
+// a shadow call stack from the CPU's retire stream: linking calls (CfKind::
+// Call) push a frame named after the callee's region, returns pop one, and
+// exception entry/exit bracket handler execution as synthetic "[exc:svc]"-
+// style frames. Every retired cycle is attributed to the full stack at the
+// time of retirement, accumulated in a prefix-shared call tree.
+//
+// Accounting contract (pinned by tests, same as the flat profiler):
+//   * the sum over all tree nodes equals Cpu::cycles() exactly — every
+//     retired cycle lands somewhere, "[other]" / "[truncated]" included;
+//   * attaching the profiler never changes simulated cycle counts.
+//
+// Robustness: the shadow stack is advisory, not trusted. A RET whose shadow
+// top is an exception frame is ignored; an ERET with no exception frame on
+// the stack (the kernel's first drop to EL0) leaves the stack alone; a pc
+// outside the top frame's region is self-healed by appending the leaf
+// region. Under context switching, attribution is wall-clock, like the
+// syscall-latency histogram: the stack follows the *CPU*, not the task.
+//
+// Export: folded-stack text ("kernel;syscall;pac_sign 123" per line) directly
+// consumable by flamegraph.pl or speedscope, plus a human-readable top-stacks
+// table. Lines are sorted, so equal runs produce byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/region.h"
+#include "obs/trace.h"
+
+namespace camo::obs {
+
+class CallGraphProfiler : public CycleAttributor, public CfSink {
+ public:
+  /// Frames nested deeper than this are collapsed into a "[truncated]"
+  /// child (accounting stays exact; only the shape is capped).
+  static constexpr size_t kMaxDepth = 512;
+
+  /// Register [start, end) under `name`. Regions must not overlap; call
+  /// before attaching the profiler to a CPU.
+  void add_region(std::string name, uint64_t start, uint64_t end);
+
+  // Producer interfaces -----------------------------------------------------
+  /// Control-flow events are buffered and applied *after* the same step's
+  /// retire() call, so a call instruction's own cycles are attributed to the
+  /// caller's stack, not the callee's.
+  void control_flow(CfKind kind, uint64_t from_pc, uint64_t to_pc,
+                    uint8_t info) override;
+  void retire(uint64_t pc, uint8_t el, uint8_t op_class,
+              uint64_t cycles) override;
+
+  // Accounting --------------------------------------------------------------
+  uint64_t total_cycles() const { return total_cycles_; }
+  uint64_t total_retires() const { return total_retires_; }
+  /// Current shadow-stack depth (frames tracked; excludes collapsed ones).
+  size_t depth() const { return stack_.size(); }
+  /// Number of distinct stacks (tree nodes) with attributed cycles.
+  size_t hot_node_count() const;
+
+  // Export ------------------------------------------------------------------
+  /// Folded-stack text: one "frame;frame;leaf <cycles>" line per distinct
+  /// stack with attributed cycles, sorted lexicographically.
+  std::string folded(char sep = ';') const;
+  /// The `n` hottest stacks as a human-readable table (cycles, %, stack).
+  std::string top_stacks(size_t n = 10) const;
+
+  void clear();
+
+ private:
+  struct Node {
+    int name = -1;    ///< index into names_
+    int parent = -1;  ///< node index; -1 for the root
+    bool exc = false; ///< synthetic exception frame (only ExcExit pops it)
+    uint64_t cycles = 0;
+    uint64_t retires = 0;
+    std::unordered_map<int, int> children;  ///< name id -> node index
+  };
+
+  struct PendingCf {
+    CfKind kind;
+    uint64_t to_pc;
+    uint8_t info;
+  };
+
+  int intern(const std::string& name);
+  int intern_region(uint64_t pc);  ///< name id of the region holding pc
+  /// Find-or-create the child of `node` named `name`.
+  int child(int node, int name, bool exc);
+  int current() const { return stack_.empty() ? 0 : stack_.back(); }
+  void apply(const PendingCf& cf);
+  void collect_lines(std::vector<std::pair<std::string, uint64_t>>& out,
+                     char sep) const;
+
+  RegionIndex index_;
+  std::vector<int> region_names_;  ///< parallel to index_: interned name ids
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> name_ids_;
+
+  std::vector<Node> nodes_;   ///< nodes_[0] is the root (lazily created)
+  std::vector<int> stack_;    ///< node indices, bottom to top
+  uint64_t overflow_ = 0;     ///< frames collapsed past kMaxDepth
+  std::vector<PendingCf> pending_;
+
+  uint64_t total_cycles_ = 0;
+  uint64_t total_retires_ = 0;
+
+  int other_name_ = -1;      ///< "[other]"
+  int truncated_name_ = -1;  ///< "[truncated]"
+};
+
+}  // namespace camo::obs

@@ -107,6 +107,12 @@ void Collector::retire(uint64_t pc, uint8_t el, uint8_t op_class,
   if (op_class < static_cast<uint8_t>(OpClass::kCount))
     ops_[op_class]->inc();
   if (opts_.profile) prof_.retire(pc, el, op_class, cycles);
+  if (opts_.callgraph) cg_.retire(pc, el, op_class, cycles);
+}
+
+void Collector::control_flow(CfKind kind, uint64_t from_pc, uint64_t to_pc,
+                             uint8_t info) {
+  if (opts_.callgraph) cg_.control_flow(kind, from_pc, to_pc, info);
 }
 
 std::string Collector::chrome_trace_json() const {

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/callgraph.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/ring.h"
@@ -35,9 +36,10 @@ struct Options {
   bool enabled = false;
   size_t trace_capacity = 1 << 15;  ///< TraceRing capacity (events)
   bool profile = true;              ///< attach the per-symbol cycle profiler
+  bool callgraph = true;  ///< attach the shadow-call-stack profiler too
 };
 
-class Collector : public TraceSink, public CycleAttributor {
+class Collector : public TraceSink, public CycleAttributor, public CfSink {
  public:
   explicit Collector(const Options& opts = Options{});
 
@@ -45,6 +47,8 @@ class Collector : public TraceSink, public CycleAttributor {
   void emit(const TraceEvent& e) override;
   void retire(uint64_t pc, uint8_t el, uint8_t op_class,
               uint64_t cycles) override;
+  void control_flow(CfKind kind, uint64_t from_pc, uint64_t to_pc,
+                    uint8_t info) override;
 
   // Backends ----------------------------------------------------------------
   Registry& metrics() { return reg_; }
@@ -53,6 +57,8 @@ class Collector : public TraceSink, public CycleAttributor {
   const TraceRing& ring() const { return ring_; }
   Profiler& profiler() { return prof_; }
   const Profiler& profiler() const { return prof_; }
+  CallGraphProfiler& callgraph() { return cg_; }
+  const CallGraphProfiler& callgraph() const { return cg_; }
   const Options& options() const { return opts_; }
 
   // Export ------------------------------------------------------------------
@@ -60,6 +66,8 @@ class Collector : public TraceSink, public CycleAttributor {
   std::string chrome_trace_json() const;
   /// Flat per-symbol cycle profile (text).
   std::string flat_profile() const { return prof_.flat_profile(); }
+  /// Folded-stack call-graph profile (flamegraph.pl / speedscope input).
+  std::string folded_profile() const { return cg_.folded(); }
   /// Counters + histograms as a JSON document.
   std::string metrics_json() const { return reg_.to_json(); }
 
@@ -68,6 +76,7 @@ class Collector : public TraceSink, public CycleAttributor {
   Registry reg_;
   TraceRing ring_;
   Profiler prof_;
+  CallGraphProfiler cg_;
 
   // Syscall-window synthesis state.
   bool syscall_open_ = false;

@@ -2,45 +2,37 @@
 
 #include <algorithm>
 
+#include <cstddef>
+
 #include "support/format.h"
 
 namespace camo::obs {
 
 void Profiler::add_region(std::string name, uint64_t start, uint64_t end) {
-  if (end <= start) return;
-  regions_.push_back(Region{std::move(name), start, end, 0, 0});
-  sorted_ = false;
-}
-
-const Profiler::Region* Profiler::find(uint64_t pc) const {
-  // upper_bound on start, then check containment in the preceding region.
-  auto it = std::upper_bound(
-      regions_.begin(), regions_.end(), pc,
-      [](uint64_t v, const Region& r) { return v < r.start; });
-  if (it == regions_.begin()) return nullptr;
-  --it;
-  return pc < it->end ? &*it : nullptr;
+  const size_t idx = index_.add(std::move(name), start, end);
+  if (idx == RegionIndex::kNone) return;
+  counts_.insert(counts_.begin() + static_cast<ptrdiff_t>(idx), Counts{});
 }
 
 void Profiler::retire(uint64_t pc, uint8_t /*el*/, uint8_t /*op_class*/,
                       uint64_t cycles) {
-  if (!sorted_) {
-    std::sort(regions_.begin(), regions_.end(),
-              [](const Region& a, const Region& b) { return a.start < b.start; });
-    sorted_ = true;
-  }
-  Region* r = const_cast<Region*>(find(pc));
-  if (!r) r = &other_;
-  r->cycles += cycles;
-  ++r->retires;
+  const size_t idx = index_.find(pc);
+  Counts& c = idx == RegionIndex::kNone ? other_ : counts_[idx];
+  c.cycles += cycles;
+  ++c.retires;
 }
 
 std::vector<Profiler::Region> Profiler::entries() const {
   std::vector<Region> out;
-  out.reserve(regions_.size() + 1);
-  for (const Region& r : regions_)
-    if (r.cycles || r.retires) out.push_back(r);
-  if (other_.cycles || other_.retires) out.push_back(other_);
+  out.reserve(index_.size() + 1);
+  for (size_t i = 0; i < index_.size(); ++i) {
+    if (!counts_[i].cycles && !counts_[i].retires) continue;
+    const auto& r = index_[i];
+    out.push_back(
+        Region{r.name, r.start, r.end, counts_[i].cycles, counts_[i].retires});
+  }
+  if (other_.cycles || other_.retires)
+    out.push_back(Region{"[other]", 0, 0, other_.cycles, other_.retires});
   std::sort(out.begin(), out.end(),
             [](const Region& a, const Region& b) { return a.cycles > b.cycles; });
   return out;
@@ -48,13 +40,13 @@ std::vector<Profiler::Region> Profiler::entries() const {
 
 uint64_t Profiler::total_cycles() const {
   uint64_t sum = other_.cycles;
-  for (const Region& r : regions_) sum += r.cycles;
+  for (const Counts& c : counts_) sum += c.cycles;
   return sum;
 }
 
 uint64_t Profiler::total_retires() const {
   uint64_t sum = other_.retires;
-  for (const Region& r : regions_) sum += r.retires;
+  for (const Counts& c : counts_) sum += c.retires;
   return sum;
 }
 
@@ -78,12 +70,8 @@ std::string Profiler::flat_profile() const {
 }
 
 void Profiler::clear() {
-  for (Region& r : regions_) {
-    r.cycles = 0;
-    r.retires = 0;
-  }
-  other_.cycles = 0;
-  other_.retires = 0;
+  for (Counts& c : counts_) c = Counts{};
+  other_ = Counts{};
 }
 
 }  // namespace camo::obs

@@ -5,13 +5,15 @@
 // region containing the pc it retired at. Cycles retired outside any region
 // (bootloader stubs, unmapped pc) land in the "[other]" catch-all, so the
 // per-region sum always equals Cpu::cycles() exactly — the invariant the
-// tests pin.
+// tests pin. The region lookup itself lives in obs/region.h, shared with the
+// call-graph profiler.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/region.h"
 #include "obs/trace.h"
 
 namespace camo::obs {
@@ -48,11 +50,14 @@ class Profiler : public CycleAttributor {
   void clear();
 
  private:
-  const Region* find(uint64_t pc) const;
+  struct Counts {
+    uint64_t cycles = 0;
+    uint64_t retires = 0;
+  };
 
-  std::vector<Region> regions_;  ///< sorted by start
-  Region other_{"[other]", 0, 0, 0, 0};
-  bool sorted_ = true;
+  RegionIndex index_;
+  std::vector<Counts> counts_;  ///< parallel to index_
+  Counts other_;
 };
 
 }  // namespace camo::obs

@@ -100,6 +100,34 @@ class CycleAttributor {
                       uint64_t cycles) = 0;
 };
 
+/// Control-flow kinds the CPU reports to a CfSink — exactly the events a
+/// shadow call stack needs: linking calls push a frame, returns pop one,
+/// exception entry/exit bracket handler execution as a synthetic frame.
+/// Non-linking branches (B, BR, BRAA/BRAB, tail jumps) are deliberately not
+/// reported; the call-graph profiler self-heals via the leaf region instead.
+enum class CfKind : uint8_t {
+  Call,      ///< BL / BLR / BLRAA / BLRAB (authenticated and taken)
+  Ret,       ///< RET / RETAA / RETAB (authenticated and taken)
+  ExcEnter,  ///< exception entry; info = ExcClass ordinal
+  ExcExit,   ///< ERET; info = target EL
+};
+
+const char* cf_kind_name(CfKind k);
+
+/// Control-flow consumer fed from the CPU's retire stream. Events for a step
+/// fire *during* the step, i.e. before that step's CycleAttributor::retire
+/// call; consumers that want call-site attribution buffer them until the
+/// retire arrives (obs::CallGraphProfiler does). Null sink = no emission,
+/// and attaching one never changes simulated cycle counts.
+class CfSink {
+ public:
+  virtual ~CfSink() = default;
+  /// `from_pc` is the instruction (or preferred return address for
+  /// exceptions), `to_pc` the new pc after the transfer.
+  virtual void control_flow(CfKind kind, uint64_t from_pc, uint64_t to_pc,
+                            uint8_t info) = 0;
+};
+
 // Label helpers for numeric payloads. These mirror the producer enums
 // (cpu::ExcClass, cpu::PacKey, attacks::Outcome declaration order); a test
 // asserts they stay in sync.

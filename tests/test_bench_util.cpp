@@ -1,0 +1,97 @@
+// bench::Session flag parsing: the shared --json/--trace/--folded/--seed
+// flags must be compacted out of argv for the binary's own parser, and a
+// value-taking flag with a missing or malformed value must be a hard error
+// rather than a silently dropped artifact path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace camo::bench {
+namespace {
+
+using Flags = Session::Flags;
+
+/// argv harness: owns mutable copies of the strings, like a real argv.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (auto& s : storage) ptrs.push_back(s.data());
+    ptrs.push_back(nullptr);
+    argc = static_cast<int>(storage.size());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+  char** argv() { return ptrs.data(); }
+};
+
+TEST(BenchFlags, ParsesAndCompactsAllSharedFlags) {
+  Argv a({"bench", "--smoke", "--json", "out.json", "--positional",
+          "--trace", "t.json", "--folded", "f.txt", "--seed", "42",
+          "--own-flag"});
+  Flags f;
+  const std::string err = Session::parse_flags(a.argc, a.argv(), f);
+  EXPECT_EQ(err, "");
+  EXPECT_TRUE(f.smoke);
+  EXPECT_EQ(f.json_path, "out.json");
+  EXPECT_EQ(f.trace_path, "t.json");
+  EXPECT_EQ(f.folded_path, "f.txt");
+  ASSERT_TRUE(f.seed.has_value());
+  EXPECT_EQ(*f.seed, 42u);
+  // Only the binary's own arguments remain, in order.
+  ASSERT_EQ(a.argc, 3);
+  EXPECT_STREQ(a.argv()[0], "bench");
+  EXPECT_STREQ(a.argv()[1], "--positional");
+  EXPECT_STREQ(a.argv()[2], "--own-flag");
+  EXPECT_EQ(a.argv()[3], nullptr);
+}
+
+TEST(BenchFlags, EqualsFormWorks) {
+  Argv a({"bench", "--json=out.json", "--seed=0x10"});
+  Flags f;
+  EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+  EXPECT_EQ(f.json_path, "out.json");
+  ASSERT_TRUE(f.seed.has_value());
+  EXPECT_EQ(*f.seed, 16u);  // strtoull base 0: hex accepted
+}
+
+TEST(BenchFlags, TrailingValueFlagIsAnError) {
+  for (const char* flag : {"--json", "--trace", "--folded", "--seed"}) {
+    Argv a({"bench", flag});
+    Flags f;
+    const std::string err = Session::parse_flags(a.argc, a.argv(), f);
+    EXPECT_NE(err, "") << flag;
+    EXPECT_NE(err.find(flag), std::string::npos) << err;
+  }
+}
+
+TEST(BenchFlags, EmptyValueIsAnError) {
+  Argv a({"bench", "--json="});
+  Flags f;
+  EXPECT_NE(Session::parse_flags(a.argc, a.argv(), f), "");
+}
+
+TEST(BenchFlags, MalformedSeedIsAnError) {
+  for (const char* bad : {"banana", "12x", ""}) {
+    Argv a({"bench", "--seed", bad});
+    Flags f;
+    const std::string err = Session::parse_flags(a.argc, a.argv(), f);
+    EXPECT_NE(err, "") << "--seed " << bad;
+    EXPECT_FALSE(f.seed.has_value());
+  }
+}
+
+TEST(BenchFlags, NoFlagsLeavesArgvAlone) {
+  Argv a({"bench", "pos1", "pos2"});
+  Flags f;
+  EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+  EXPECT_EQ(a.argc, 3);
+  EXPECT_FALSE(f.smoke);
+  EXPECT_EQ(f.json_path, "");
+  EXPECT_FALSE(f.seed.has_value());
+}
+
+}  // namespace
+}  // namespace camo::bench

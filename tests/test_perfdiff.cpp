@@ -1,0 +1,203 @@
+// camo-perfdiff tests: schema validation shared with the benches, matching
+// and min-of-N semantics, gate direction rules (cost units one-sided,
+// everything else exact-gated), and the markdown report.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/bench_schema.h"
+#include "obs/json.h"
+#include "perfdiff.h"
+
+namespace camo::perfdiff {
+namespace {
+
+obs::BenchDoc doc(const std::string& bench,
+                  std::vector<obs::BenchSeriesPoint> series) {
+  obs::BenchDoc d;
+  d.bench = bench;
+  d.title = bench;
+  d.series = std::move(series);
+  return d;
+}
+
+obs::BenchSeriesPoint pt(const std::string& config,
+                         const std::string& benchmark, double value,
+                         const std::string& unit) {
+  return {config, benchmark, value, unit, std::nullopt};
+}
+
+TEST(PerfDiff, SelfCompareIsCleanPass) {
+  const auto base = doc("Figure 3", {pt("none", "null syscall", 100, "cycles/op"),
+                                     pt("full", "null syscall", 131, "cycles/op")});
+  const auto rep = diff({base}, {base}, {});
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.regressed, 0);
+  EXPECT_EQ(rep.improved, 0);
+  ASSERT_EQ(rep.deltas.size(), 2u);
+  for (const auto& d : rep.deltas) EXPECT_EQ(d.status, Status::Ok);
+}
+
+TEST(PerfDiff, RegressionBeyondThresholdFailsTheGate) {
+  const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
+  const auto cur = doc("Fig", {pt("full", "read", 1100, "cycles/op")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.regressed, 1);
+  ASSERT_EQ(rep.deltas.size(), 1u);
+  EXPECT_EQ(rep.deltas[0].status, Status::Regressed);
+  EXPECT_NEAR(rep.deltas[0].pct, 10.0, 1e-9);
+}
+
+TEST(PerfDiff, ImprovementPassesAndIsCounted) {
+  const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
+  const auto cur = doc("Fig", {pt("full", "read", 850, "cycles/op")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.improved, 1);
+  EXPECT_EQ(rep.deltas[0].status, Status::Improved);
+}
+
+TEST(PerfDiff, WithinNoiseThresholdIsOk) {
+  const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
+  const auto cur = doc("Fig", {pt("full", "read", 1049, "cycles/op")});
+  const auto rep = diff({base}, {cur}, {});  // default threshold 5%
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.deltas[0].status, Status::Ok);
+  // A tighter threshold flags the same delta.
+  Options tight;
+  tight.threshold_pct = 1.0;
+  EXPECT_FALSE(diff({base}, {cur}, tight).ok);
+}
+
+TEST(PerfDiff, NonCostUnitsAreExactGatedInBothDirections) {
+  // A ratio that *drops* 50% is not an "improvement" — for a deterministic
+  // simulation it means the behaviour changed, and the gate must say so.
+  const auto base = doc("Abl", {pt("parts", "collisions", 40, "pairs")});
+  const auto cur = doc("Abl", {pt("parts", "collisions", 20, "pairs")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.deltas[0].status, Status::Changed);
+}
+
+TEST(PerfDiff, MissingSeriesFailsUnlessAllowed) {
+  const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op"),
+                                pt("full", "write", 900, "cycles/op")});
+  const auto cur = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.missing, 1);
+  Options opts;
+  opts.allow_missing = true;
+  EXPECT_TRUE(diff({base}, {cur}, opts).ok);
+}
+
+TEST(PerfDiff, NewSeriesAllowedByDefaultForbiddenOnRequest) {
+  const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
+  const auto cur = doc("Fig", {pt("full", "read", 1000, "cycles/op"),
+                               pt("full", "stat", 500, "cycles/op")});
+  EXPECT_TRUE(diff({base}, {cur}, {}).ok);
+  Options opts;
+  opts.allow_new = false;
+  const auto rep = diff({base}, {cur}, opts);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.added, 1);
+  EXPECT_EQ(rep.deltas.back().status, Status::New);
+}
+
+TEST(PerfDiff, MinOfNStripsRepetitionNoise) {
+  // Three recorded repetitions on each side; only the minima are compared.
+  const auto base = doc("Fig", {pt("full", "read", 1030, "cycles/op"),
+                                pt("full", "read", 1000, "cycles/op"),
+                                pt("full", "read", 1080, "cycles/op")});
+  const auto cur = doc("Fig", {pt("full", "read", 1100, "cycles/op"),
+                               pt("full", "read", 1010, "cycles/op")});
+  const auto rep = diff({base}, {cur}, {});
+  ASSERT_EQ(rep.deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.deltas[0].baseline, 1000);
+  EXPECT_DOUBLE_EQ(rep.deltas[0].current, 1010);
+  EXPECT_TRUE(rep.ok);
+}
+
+TEST(PerfDiff, SameBenchmarkNameInDifferentBenchesDoesNotCollide) {
+  const auto b1 = doc("Fig3", {pt("full", "read", 100, "cycles/op")});
+  const auto b2 = doc("Fig4", {pt("full", "read", 900, "cycles/op")});
+  const auto rep = diff({b1, b2}, {b1, b2}, {});
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.deltas.size(), 2u);
+}
+
+TEST(PerfDiff, ZeroBaselineGoingNonzeroIsFlagged) {
+  const auto base = doc("Sec", {pt("full", "auth failures", 0, "count")});
+  const auto cur = doc("Sec", {pt("full", "auth failures", 3, "count")});
+  EXPECT_FALSE(diff({base}, {cur}, {}).ok);
+}
+
+TEST(PerfDiff, UnitCostClassification) {
+  EXPECT_TRUE(unit_is_cost("cycles"));
+  EXPECT_TRUE(unit_is_cost("cycles/op"));
+  EXPECT_TRUE(unit_is_cost("ns"));
+  EXPECT_TRUE(unit_is_cost("insns"));
+  EXPECT_FALSE(unit_is_cost("ratio"));
+  EXPECT_FALSE(unit_is_cost("pairs"));
+  EXPECT_FALSE(unit_is_cost("tries"));
+}
+
+TEST(PerfDiff, MarkdownReportNamesTheOffender) {
+  const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
+  const auto cur = doc("Fig", {pt("full", "read", 1200, "cycles/op")});
+  const std::string md = diff({base}, {cur}, {}).markdown();
+  EXPECT_NE(md.find("Fig / full / read"), std::string::npos) << md;
+  EXPECT_NE(md.find("REGRESSED"), std::string::npos) << md;
+  EXPECT_NE(md.find("+20.00%"), std::string::npos) << md;
+  EXPECT_NE(md.find("FAIL"), std::string::npos) << md;
+  const std::string ok_md = diff({base}, {base}, {}).markdown();
+  EXPECT_NE(ok_md.find("PASS"), std::string::npos) << ok_md;
+}
+
+// ---------------------------------------------------------------------------
+// Schema plumbing shared with the bench emitters.
+
+TEST(BenchSchema, ParseRoundTripIncludingSeed) {
+  const char* text = R"({
+    "schema": "camo-bench/v1", "bench": "Fig", "title": "t", "smoke": true,
+    "seed": 2024,
+    "series": [{"config": "full", "benchmark": "read", "value": 1.5,
+                "unit": "cycles/op", "relative": 1.2}]
+  })";
+  const auto json = obs::json::Value::parse(text);
+  ASSERT_TRUE(json.has_value());
+  std::string err;
+  const auto doc = obs::parse_bench_doc(*json, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->bench, "Fig");
+  EXPECT_TRUE(doc->smoke);
+  ASSERT_TRUE(doc->seed.has_value());
+  EXPECT_EQ(*doc->seed, 2024u);
+  ASSERT_EQ(doc->series.size(), 1u);
+  EXPECT_EQ(doc->series[0].unit, "cycles/op");
+  ASSERT_TRUE(doc->series[0].relative.has_value());
+}
+
+TEST(BenchSchema, RejectsWrongSchemaAndMalformedSeries) {
+  const auto reject = [](const char* text) {
+    const auto json = obs::json::Value::parse(text);
+    ASSERT_TRUE(json.has_value()) << text;
+    EXPECT_FALSE(obs::validate_bench_json(*json).empty()) << text;
+  };
+  reject(R"({"schema": "camo-bench/v2", "bench": "b", "title": "t",
+             "smoke": false, "series": []})");
+  reject(R"({"schema": "camo-bench/v1", "bench": "b", "title": "t",
+             "smoke": false, "series": []})");  // empty series
+  reject(R"({"schema": "camo-bench/v1", "bench": "b", "title": "t",
+             "smoke": false,
+             "series": [{"config": "c", "benchmark": "m", "unit": "u"}]})");
+  reject(R"({"schema": "camo-bench/v1", "bench": "b", "title": "t",
+             "smoke": false, "seed": "not-a-number",
+             "series": [{"config": "c", "benchmark": "m", "value": 1,
+                         "unit": "u"}]})");
+}
+
+}  // namespace
+}  // namespace camo::perfdiff

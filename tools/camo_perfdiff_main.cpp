@@ -1,0 +1,81 @@
+// camo-perfdiff CLI — compare two camo-bench/v1 documents or directories
+// and gate on regressions. Exit codes: 0 = pass, 1 = gate failure
+// (regression / unexplained change / missing series), 2 = usage or I/O
+// error. See tools/perfdiff.h for the matching and direction rules.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "perfdiff.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <baseline.json|dir> <current.json|dir>\n"
+      "\n"
+      "Compare camo-bench/v1 series and exit non-zero on regression.\n"
+      "\n"
+      "options:\n"
+      "  --threshold <pct>   noise threshold in percent (default 5)\n"
+      "  --allow-missing     baseline series absent from the current run\n"
+      "                      do not fail the gate\n"
+      "  --forbid-new        fail when the current run has series the\n"
+      "                      baseline lacks (default: allowed)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  camo::perfdiff::Options opts;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threshold requires a value\n");
+        return usage(argv[0]);
+      }
+      char* end = nullptr;
+      opts.threshold_pct = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || opts.threshold_pct < 0) {
+        std::fprintf(stderr, "error: bad --threshold value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--allow-missing") {
+      opts.allow_missing = true;
+    } else if (arg == "--forbid-new") {
+      opts.allow_new = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option \"%s\"\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return usage(argv[0]);
+
+  std::string err;
+  std::vector<camo::obs::BenchDoc> baseline, current;
+  if (!camo::perfdiff::load_path(paths[0], baseline, &err)) {
+    std::fprintf(stderr, "error: baseline: %s\n", err.c_str());
+    return 2;
+  }
+  if (!camo::perfdiff::load_path(paths[1], current, &err)) {
+    std::fprintf(stderr, "error: current: %s\n", err.c_str());
+    return 2;
+  }
+
+  const auto report = camo::perfdiff::diff(baseline, current, opts);
+  std::fputs(report.markdown().c_str(), stdout);
+  return report.ok ? 0 : 1;
+}

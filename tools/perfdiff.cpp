@@ -1,0 +1,165 @@
+#include "perfdiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <map>
+
+#include "support/format.h"
+
+namespace camo::perfdiff {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Improved: return "improved";
+    case Status::Regressed: return "REGRESSED";
+    case Status::Changed: return "CHANGED";
+    case Status::Missing: return "MISSING";
+    case Status::New: return "new";
+  }
+  return "<bad-status>";
+}
+
+bool unit_is_cost(const std::string& unit) {
+  // "cycles", "cycles/op", "cycles/call", "cycles/switch", ...
+  if (unit.rfind("cycles", 0) == 0) return true;
+  return unit == "ns" || unit == "us" || unit == "ms" || unit == "insns" ||
+         unit == "instructions" || unit == "bytes";
+}
+
+namespace {
+
+using Key = std::tuple<std::string, std::string, std::string, std::string>;
+
+/// Flatten docs into key -> min value (min-of-N across repeated keys),
+/// remembering first-seen order for stable output.
+void flatten(const std::vector<obs::BenchDoc>& docs,
+             std::map<Key, double>& values, std::vector<Key>& order) {
+  for (const obs::BenchDoc& doc : docs) {
+    for (const obs::BenchSeriesPoint& p : doc.series) {
+      Key k{doc.bench, p.config, p.benchmark, p.unit};
+      const auto it = values.find(k);
+      if (it == values.end()) {
+        values.emplace(k, p.value);
+        order.push_back(std::move(k));
+      } else {
+        it->second = std::min(it->second, p.value);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Report diff(const std::vector<obs::BenchDoc>& baseline,
+            const std::vector<obs::BenchDoc>& current, const Options& opts) {
+  std::map<Key, double> base_vals, cur_vals;
+  std::vector<Key> base_order, cur_order;
+  flatten(baseline, base_vals, base_order);
+  flatten(current, cur_vals, cur_order);
+
+  Report rep;
+  for (const Key& k : base_order) {
+    Delta d;
+    std::tie(d.bench, d.config, d.benchmark, d.unit) = k;
+    d.baseline = base_vals.at(k);
+    const auto it = cur_vals.find(k);
+    if (it == cur_vals.end()) {
+      d.current = 0;
+      d.pct = 0;
+      d.status = Status::Missing;
+      ++rep.missing;
+      rep.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.current = it->second;
+    if (d.baseline != 0) {
+      d.pct = (d.current - d.baseline) / std::fabs(d.baseline) * 100.0;
+    } else {
+      d.pct = d.current == 0 ? 0.0 : 100.0;  // 0 -> nonzero: flag it
+    }
+    const bool beyond = std::fabs(d.pct) > opts.threshold_pct;
+    if (!beyond) {
+      d.status = Status::Ok;
+    } else if (unit_is_cost(d.unit)) {
+      d.status = d.pct > 0 ? Status::Regressed : Status::Improved;
+    } else {
+      d.status = Status::Changed;
+    }
+    if (d.status == Status::Regressed || d.status == Status::Changed)
+      ++rep.regressed;
+    if (d.status == Status::Improved) ++rep.improved;
+    rep.deltas.push_back(std::move(d));
+  }
+  for (const Key& k : cur_order) {
+    if (base_vals.count(k)) continue;
+    Delta d;
+    std::tie(d.bench, d.config, d.benchmark, d.unit) = k;
+    d.current = cur_vals.at(k);
+    d.status = Status::New;
+    ++rep.added;
+    rep.deltas.push_back(std::move(d));
+  }
+
+  rep.ok = rep.regressed == 0 && (opts.allow_missing || rep.missing == 0) &&
+           (opts.allow_new || rep.added == 0);
+  return rep;
+}
+
+std::string Report::markdown() const {
+  std::string out =
+      "| series | unit | baseline | current | delta | status |\n"
+      "|---|---|---:|---:|---:|---|\n";
+  for (const Delta& d : deltas) {
+    const std::string series =
+        d.bench + " / " + d.config + " / " + d.benchmark;
+    std::string delta_txt;
+    if (d.status == Status::Missing || d.status == Status::New)
+      delta_txt = "-";
+    else
+      delta_txt = strformat("%+.2f%%", d.pct);
+    out += strformat("| %s | %s | %.6g | %.6g | %s | %s |\n", series.c_str(),
+                     d.unit.c_str(), d.baseline, d.current, delta_txt.c_str(),
+                     status_name(d.status));
+  }
+  out += strformat(
+      "\n%s: %d regressed, %d improved, %d missing, %d new, %zu series\n",
+      ok ? "PASS" : "FAIL", regressed, improved, missing, added,
+      deltas.size());
+  return out;
+}
+
+bool load_path(const std::string& path, std::vector<obs::BenchDoc>& out,
+               std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.path().extension() == ".json")
+        files.push_back(entry.path().string());
+    }
+    if (ec) {
+      if (error) *error = "cannot list " + path + ": " + ec.message();
+      return false;
+    }
+    if (files.empty()) {
+      if (error) *error = "no *.json files in " + path;
+      return false;
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& f : files) {
+      auto doc = obs::load_bench_file(f, error);
+      if (!doc) return false;
+      out.push_back(std::move(*doc));
+    }
+    return true;
+  }
+  auto doc = obs::load_bench_file(path, error);
+  if (!doc) return false;
+  out.push_back(std::move(*doc));
+  return true;
+}
+
+}  // namespace camo::perfdiff

@@ -1,0 +1,81 @@
+// camo-perfdiff: the cross-run perf regression gate.
+//
+// Compares two sets of camo-bench/v1 documents (see obs/bench_schema.h) —
+// a checked-in baseline and a fresh run — series by series. The simulator's
+// cycle model is deterministic, so for cycle-valued series any drift is a
+// real behavioural change; the noise threshold exists for wall-clock series
+// and for intentionally-loose gates, not for simulator jitter.
+//
+// Matching key: (bench, config, benchmark, unit). When the same key appears
+// more than once within one side (N recorded repetitions), the *minimum*
+// value is used — min-of-N is the standard way to strip scheduling noise
+// from benchmark repetitions.
+//
+// Direction: units that measure cost ("cycles", "cycles/op", "ns", ...)
+// regress only when they *increase* beyond the threshold; a decrease is an
+// improvement. Every other unit (counts, ratios, "tries") is gated exactly:
+// any move beyond the threshold is flagged as CHANGED, because for a
+// deterministic simulation an unexplained change in either direction means
+// the behaviour changed, which is what the gate exists to catch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/bench_schema.h"
+
+namespace camo::perfdiff {
+
+struct Options {
+  double threshold_pct = 5.0;  ///< noise threshold, percent
+  bool allow_missing = false;  ///< baseline series absent from current run
+  bool allow_new = true;       ///< current series absent from baseline
+};
+
+enum class Status : uint8_t {
+  Ok,        ///< within the noise threshold
+  Improved,  ///< cost unit decreased beyond the threshold
+  Regressed, ///< cost unit increased beyond the threshold
+  Changed,   ///< exact-gated unit moved beyond the threshold
+  Missing,   ///< in the baseline, absent from the current run
+  New,       ///< in the current run, absent from the baseline
+};
+
+const char* status_name(Status s);
+
+/// True for units where smaller is faster ("cycles", "cycles/op", "ns"...).
+bool unit_is_cost(const std::string& unit);
+
+struct Delta {
+  std::string bench, config, benchmark, unit;
+  double baseline = 0;  ///< min-of-N on the baseline side
+  double current = 0;   ///< min-of-N on the current side
+  double pct = 0;       ///< (current - baseline) / baseline * 100
+  Status status = Status::Ok;
+};
+
+struct Report {
+  std::vector<Delta> deltas;  ///< baseline order, then new series
+  int regressed = 0;          ///< Regressed + Changed
+  int improved = 0;
+  int missing = 0;
+  int added = 0;
+  bool ok = false;  ///< gate verdict under the Options used for the diff
+
+  /// Markdown delta table plus a one-line verdict.
+  std::string markdown() const;
+};
+
+/// Diff two document sets. Every series in `baseline` is matched against
+/// `current`; unmatched current series are appended as New.
+Report diff(const std::vector<obs::BenchDoc>& baseline,
+            const std::vector<obs::BenchDoc>& current,
+            const Options& opts = Options{});
+
+/// Load one camo-bench/v1 file, or every *.json in a directory (sorted).
+/// Returns false and sets `error` on the first unreadable/invalid file.
+bool load_path(const std::string& path, std::vector<obs::BenchDoc>& out,
+               std::string* error);
+
+}  // namespace camo::perfdiff
