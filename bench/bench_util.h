@@ -62,6 +62,12 @@ struct RunCycles {
   uint64_t total = 0;       ///< boot to halt
   uint64_t workload = 0;    ///< first EL0 entry to halt
   uint64_t halt_code = 0;
+  uint64_t instret = 0;      ///< guest instructions retired
+  double host_seconds = 0;   ///< host wall clock inside the CPU loop
+  /// Guest instructions per host second (informational; host-dependent).
+  double throughput() const {
+    return host_seconds > 0 ? static_cast<double>(instret) / host_seconds : 0;
+  }
   // Populated only when run with `collect = true`:
   std::string trace_json;    ///< Chrome trace_event JSON of the run
   std::string flat_profile;  ///< per-symbol cycle profile (text)
@@ -76,16 +82,20 @@ struct RunCycles {
 /// result carries the Chrome trace, the flat cycle profile and the folded
 /// call-graph profile. `seed` is the machine's boot entropy (kernel + user
 /// PAuth keys); it never affects the cycle counts, only the key material.
+/// `fast_path` toggles the host-side predecode/micro-TLB caches (DESIGN.md
+/// §3c); simulated cycles are identical either way, only host_seconds moves.
 inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
                               std::vector<obj::Program> programs,
                               uint64_t max_steps = 400'000'000,
                               bool collect = false,
-                              uint64_t seed = kernel::MachineConfig{}.seed) {
+                              uint64_t seed = kernel::MachineConfig{}.seed,
+                              bool fast_path = true) {
   kernel::MachineConfig cfg;
   cfg.kernel.protection = prot;
   cfg.kernel.log_pac_failures = false;
   cfg.obs.enabled = collect;
   cfg.seed = seed;
+  cfg.cpu.fast_path = fast_path;
   kernel::Machine m(cfg);
   for (auto& p : programs) m.add_user_program(std::move(p));
   m.boot();
@@ -98,6 +108,8 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
   r.total = m.cpu().cycles();
   r.workload = start == 0 ? r.total : r.total - start;
   r.halt_code = m.halted() ? m.halt_code() : ~uint64_t{0};
+  r.instret = m.cpu().instret();
+  r.host_seconds = m.host_seconds();
   if (obs::Collector* st = m.stats()) {
     r.trace_json = st->chrome_trace_json();
     r.flat_profile = st->flat_profile();

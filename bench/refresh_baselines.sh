@@ -12,6 +12,12 @@
 # google-benchmark wall-clock, which is not reproducible across machines.
 # Every other bench reports deterministic simulated cycles; --seed pins the
 # one bench whose *sampling* (not timing) uses an RNG.
+#
+# Informational units ("insns/s" host throughput, wall-clock "ns"/"us"/"ms",
+# "*-host") are recorded in the baselines for reference but are NEVER gated:
+# camo-perfdiff prints them with the "info" status and excludes them from the
+# regressed/missing/new counts, because they measure the host machine, not
+# the simulated guest.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

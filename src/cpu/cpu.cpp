@@ -1,5 +1,6 @@
 #include "cpu/cpu.h"
 
+#include <algorithm>
 #include <array>
 
 #include "support/bits.h"
@@ -28,7 +29,10 @@ const char* exc_class_name(ExcClass c) {
 }
 
 Cpu::Cpu(mem::Mmu& mmu, Config cfg)
-    : mmu_(&mmu), cfg_(cfg), pauth_(cfg.layout) {}
+    : mmu_(&mmu), cfg_(cfg), pauth_(cfg.layout) {
+  mmu_->set_fast_path(cfg_.fast_path);
+  pauth_.set_fast_path(cfg_.fast_path);
+}
 
 obs::OpClass Cpu::op_class(Op op) {
   switch (op) {
@@ -464,6 +468,8 @@ void Cpu::set_timer_period(uint64_t cycles) {
 
 void Cpu::add_breakpoint(uint64_t va, Hook hook) {
   breakpoints_[va].push_back(std::move(hook));
+  bp_min_pc_ = std::min(bp_min_pc_, va);
+  bp_max_pc_ = std::max(bp_max_pc_, va);
 }
 
 bool Cpu::step() {
@@ -495,7 +501,7 @@ bool Cpu::step_impl() {
     return true;
   }
 
-  if (!breakpoints_.empty()) {
+  if (pc >= bp_min_pc_ && pc <= bp_max_pc_) {
     auto it = breakpoints_.find(pc);
     if (it != breakpoints_.end()) {
       // Copy: hooks may add/remove breakpoints.
@@ -511,12 +517,16 @@ bool Cpu::step_impl() {
                    iaddr);
     return true;
   }
-  const auto fetched = mmu_->read32_fetch(iaddr, pstate.el);
-  if (fetched.fault != FaultKind::None) {
-    take_exception(ExcClass::InsnAbort, iaddr, 0, fetched.fault, iaddr);
+  // Fetch permission always goes through the full translation/fault model
+  // (XOM, PXN, PAC-poison); only the decode of the fetched word is cached.
+  const auto xlat = mmu_->translate(iaddr, mem::Access::Fetch, pstate.el);
+  if (xlat.fault != FaultKind::None) {
+    take_exception(ExcClass::InsnAbort, iaddr, 0, xlat.fault, iaddr);
     return true;
   }
-  const Inst inst = isa::decode(static_cast<uint32_t>(fetched.value));
+  const Inst inst = cfg_.fast_path
+                        ? fetch_decoded(xlat.pa)
+                        : isa::decode(mmu_->phys().read32(xlat.pa));
   if (trace_) trace_(*this, iaddr, inst);
   if (attr_) step_op_class_ = op_class(inst.op);
 
@@ -527,6 +537,39 @@ bool Cpu::step_impl() {
   ++instret_;
   ++op_counts_[static_cast<size_t>(inst.op)];
   return !halted_;
+}
+
+const Inst& Cpu::fetch_decoded_slow(uint64_t pa) {
+  const mem::PhysicalMemory& phys = mmu_->phys();
+  // A fetch straddling the end of physical memory is a host-side bug; take
+  // the same camo::Error the uncached phys read would raise.
+  if (phys.size() < 4 || pa > phys.size() - 4) (void)phys.read32(pa);
+  const uint64_t page = pa >> mem::PhysicalMemory::kPageShift;
+  const uint64_t cur_gen = phys.page_generation(page);
+
+  DecodedPage& dp = icache_[page];
+  mru_page_ = page;
+  mru_dp_ = &dp;
+  if (dp.insts.empty() || dp.gen != cur_gen) {
+    if (dp.insts.empty())
+      ++fp_stats_.icache_misses;
+    else
+      ++fp_stats_.icache_redecodes;
+    // Decode the whole page eagerly: code pages are executed densely, and a
+    // single pass amortises the map lookup. Clamp to the end of physical
+    // memory for a final partial page.
+    const uint64_t base = page << mem::PhysicalMemory::kPageShift;
+    const uint64_t page_words = uint64_t{1}
+                                << (mem::PhysicalMemory::kPageShift - 2);
+    const uint64_t words = std::min(page_words, (phys.size() - base) / 4);
+    dp.insts.resize(words);
+    for (uint64_t w = 0; w < words; ++w)
+      dp.insts[w] = isa::decode(phys.read32(base + w * 4));
+    dp.gen = cur_gen;
+  } else {
+    ++fp_stats_.icache_hits;
+  }
+  return dp.insts[(pa & mask(mem::PhysicalMemory::kPageShift)) >> 2];
 }
 
 uint64_t Cpu::run(uint64_t max_steps) {

@@ -62,6 +62,11 @@ class Cpu {
     bool banked_keys = false;
     mem::VaLayout layout{};
     bool enable_cycle_model = true;
+    /// Host-performance fast path (DESIGN.md §3c): predecoded instruction
+    /// pages keyed by (phys page, write generation) plus the Mmu micro-TLB.
+    /// Purely a host-side optimisation — simulated cycles, traces, and fault
+    /// sequences are bit-for-bit identical with this on or off.
+    bool fast_path = true;
   };
 
   Cpu(mem::Mmu& mmu, Config cfg);
@@ -137,7 +142,11 @@ class Cpu {
   // ---- Host hooks -------------------------------------------------------
   using Hook = std::function<void(Cpu&)>;
   void add_breakpoint(uint64_t va, Hook hook);
-  void clear_breakpoints() { breakpoints_.clear(); }
+  void clear_breakpoints() {
+    breakpoints_.clear();
+    bp_min_pc_ = ~uint64_t{0};
+    bp_max_pc_ = 0;
+  }
 
   using HvcHandler = std::function<void(Cpu&, uint16_t imm)>;
   void set_hvc_handler(HvcHandler h) { hvc_ = std::move(h); }
@@ -175,6 +184,14 @@ class Cpu {
   /// Coarse class of an opcode for per-class retired-op metrics.
   static obs::OpClass op_class(isa::Op op);
 
+  /// Predecoded-instruction-cache statistics (host-side; informational).
+  struct FastPathStats {
+    uint64_t icache_hits = 0;      ///< fetches served from a current decode
+    uint64_t icache_misses = 0;    ///< first decode of a (page, generation)
+    uint64_t icache_redecodes = 0; ///< misses caused by a stale generation
+  };
+  const FastPathStats& fast_path_stats() const { return fp_stats_; }
+
   // ---- Our simplified ESR encoding --------------------------------------
   static uint64_t esr_pack(ExcClass cls, uint16_t iss, mem::FaultKind fk);
   static ExcClass esr_class(uint64_t esr);
@@ -192,6 +209,25 @@ class Cpu {
 
  private:
   bool step_impl();
+  /// Fast-path fetch: decoded instruction at physical address `pa`,
+  /// re-decoding the whole page if its write generation moved. Must only be
+  /// called with a `pa` from a successful Access::Fetch translation. Inline
+  /// MRU hit path: straight-line code fetches from one page for hundreds of
+  /// instructions, so the common case is a generation compare and an index.
+  const isa::Inst& fetch_decoded(uint64_t pa) {
+    const uint64_t page = pa >> mem::PhysicalMemory::kPageShift;
+    const uint64_t idx = (pa & mask(mem::PhysicalMemory::kPageShift)) >> 2;
+    // idx < size() subsumes the empty-page and past-end-of-phys checks: the
+    // decode clamps to physical memory, so any in-vector index is valid.
+    if (page == mru_page_ &&
+        mru_dp_->gen == mmu_->phys().page_generation(page) &&
+        idx < mru_dp_->insts.size()) {
+      ++fp_stats_.icache_hits;
+      return mru_dp_->insts[idx];
+    }
+    return fetch_decoded_slow(pa);
+  }
+  const isa::Inst& fetch_decoded_slow(uint64_t pa);
   void execute(const isa::Inst& inst);
   void take_exception(ExcClass cls, uint64_t far, uint16_t iss,
                       mem::FaultKind fk, uint64_t preferred_return);
@@ -228,11 +264,31 @@ class Cpu {
   uint64_t instret_ = 0;
   std::array<uint64_t, static_cast<size_t>(isa::Op::kCount)> op_counts_{};
 
+  /// One physical page of predecoded instructions, valid only while the
+  /// page's write generation matches. Pages are re-decoded in place, never
+  /// erased, so references handed out by fetch_decoded stay valid for the
+  /// duration of the executing step.
+  struct DecodedPage {
+    uint64_t gen = 0;
+    std::vector<isa::Inst> insts;
+  };
+  std::unordered_map<uint64_t, DecodedPage> icache_;  // key: phys page number
+  // Most-recently-fetched page, bypassing the hash lookup for straight-line
+  // code. Safe to cache: unordered_map nodes are pointer-stable and decoded
+  // pages are refreshed in place, never erased.
+  uint64_t mru_page_ = ~uint64_t{0};
+  DecodedPage* mru_dp_ = nullptr;
+  FastPathStats fp_stats_;
+
   bool irq_pending_ = false;
   uint64_t timer_cycles_ = 0;  // 0 = disarmed; else absolute cycle deadline
   uint64_t timer_period_ = 0;  // 0 = one-shot; else re-arm interval
 
   std::unordered_map<uint64_t, std::vector<Hook>> breakpoints_;
+  // [min, max] pc range of registered breakpoints: a one-compare guard that
+  // keeps the per-step hash lookup off the hot path when pc cannot match.
+  uint64_t bp_min_pc_ = ~uint64_t{0};
+  uint64_t bp_max_pc_ = 0;
   HvcHandler hvc_;
   MsrFilter msr_filter_;
   PacFailureObserver pac_observer_;

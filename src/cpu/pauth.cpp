@@ -15,22 +15,23 @@ const char* pac_key_name(PacKey k) {
   return "<bad-key>";
 }
 
-namespace {
-
-/// Scatter the low bits of `pac` into the set positions of `maskbits`.
-uint64_t scatter(uint64_t pac, uint64_t maskbits) {
-  uint64_t out = 0;
-  unsigned src = 0;
-  for (unsigned pos = 0; pos < 64; ++pos) {
-    if (maskbits & (uint64_t{1} << pos)) {
-      out |= ((pac >> src) & 1) << pos;
-      ++src;
-    }
+uint64_t PauthUnit::cipher(uint64_t block, uint64_t modifier,
+                           const qarma::Key128& key) const {
+  if (!fast_path_) return qarma::compute_pac_cipher(block, modifier, key);
+  const size_t idx = ((block ^ (modifier * 0x9E3779B97F4A7C15ull) ^
+                       (key.k0 * 0xBF58476D1CE4E5B9ull) ^ key.w0) >>
+                     4) &
+                     (kPacEntries - 1);
+  PacEntry& e = cache_[idx];
+  if (e.valid && e.block == block && e.modifier == modifier && e.key == key) {
+    ++pac_stats_.hits;
+    return e.mac;
   }
-  return out;
+  ++pac_stats_.misses;
+  e = PacEntry{block, modifier, key,
+               qarma::compute_pac_cipher(block, modifier, key), true};
+  return e.mac;
 }
-
-}  // namespace
 
 uint64_t PauthUnit::pac_field(uint64_t ptr, uint64_t modifier,
                               const qarma::Key128& key) const {
@@ -38,8 +39,14 @@ uint64_t PauthUnit::pac_field(uint64_t ptr, uint64_t modifier,
   // function of (address, modifier, key) regardless of what was previously
   // in the extension bits.
   const uint64_t input = layout_.canonical(ptr);
-  const uint64_t mac = qarma::compute_pac_cipher(input, modifier, key);
-  return scatter(mac, layout_.pac_mask(ptr));
+  const uint64_t mac = cipher(input, modifier, key);
+  // Place the low MAC bits into the PAC positions. pac_mask is at most two
+  // contiguous runs — [54 : va_bits] always, [63:56] when TBI is off — so
+  // the generic bit-scatter reduces to two shifts.
+  const unsigned w1 = 55 - layout_.va_bits;
+  uint64_t out = (mac & mask(w1)) << layout_.va_bits;
+  if (!layout_.tbi(ptr)) out |= ((mac >> w1) & mask(8)) << 56;
+  return out;
 }
 
 uint64_t PauthUnit::add_pac(uint64_t ptr, uint64_t modifier,
@@ -67,7 +74,7 @@ PauthUnit::AuthResult PauthUnit::auth(uint64_t ptr, uint64_t modifier,
 
 uint64_t PauthUnit::pacga(uint64_t value, uint64_t modifier,
                           const qarma::Key128& key) const {
-  const uint64_t mac = qarma::compute_pac_cipher(value, modifier, key);
+  const uint64_t mac = cipher(value, modifier, key);
   return mac & 0xFFFFFFFF00000000ULL;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "mem/valayout.h"
 #include "qarma/qarma64.h"
@@ -65,8 +66,44 @@ class PauthUnit {
   uint64_t pacga(uint64_t value, uint64_t modifier,
                  const qarma::Key128& key) const;
 
+  // ---- PAC memo cache (DESIGN.md §3c) -------------------------------------
+  // QARMA is a pure function of (block, modifier, key), so its results can be
+  // memoized exactly: entries are tagged with the full key material, making a
+  // key change a natural miss with no epoch bookkeeping. Host-side only —
+  // signing and authentication results are bit-for-bit unchanged.
+
+  /// Enable/disable the memo cache (the CPU propagates its fast-path toggle
+  /// here; standalone PauthUnit users default to the uncached cipher).
+  void set_fast_path(bool on) {
+    fast_path_ = on;
+    cache_.clear();
+    if (on) cache_.resize(kPacEntries);
+  }
+  bool fast_path() const { return fast_path_; }
+
+  struct PacCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  const PacCacheStats& pac_cache_stats() const { return pac_stats_; }
+
  private:
+  uint64_t cipher(uint64_t block, uint64_t modifier,
+                  const qarma::Key128& key) const;
+
+  struct PacEntry {
+    uint64_t block = 0;
+    uint64_t modifier = 0;
+    qarma::Key128 key;
+    uint64_t mac = 0;
+    bool valid = false;
+  };
+  static constexpr size_t kPacEntries = 4096;  // direct-mapped
+
   mem::VaLayout layout_;
+  mutable std::vector<PacEntry> cache_;  ///< empty unless fast_path_
+  mutable PacCacheStats pac_stats_;
+  bool fast_path_ = false;
 };
 
 }  // namespace camo::cpu

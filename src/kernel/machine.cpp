@@ -1,5 +1,7 @@
 #include "kernel/machine.h"
 
+#include <chrono>
+
 #include "compiler/instrument.h"
 #include "support/error.h"
 #include "support/format.h"
@@ -126,7 +128,34 @@ void Machine::attach_observability() {
 }
 
 bool Machine::run(uint64_t max_steps) {
+  const auto t0 = std::chrono::steady_clock::now();
   cpu_.run(max_steps);
+  host_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (stats_) {
+    // Fast-path cache statistics are host-side and accumulate inside the
+    // CPU/MMU; publish them as registry counters by delta so the registry
+    // stays monotonic across multiple run() calls.
+    obs::Registry& reg = stats_->metrics();
+    const auto sync = [&reg](const char* name, uint64_t total) {
+      obs::Counter& c = reg.counter(name);
+      if (total > c.value()) c.inc(total - c.value());
+    };
+    const auto& fp = cpu_.fast_path_stats();
+    sync("fastpath.icache.hit", fp.icache_hits);
+    sync("fastpath.icache.miss", fp.icache_misses);
+    sync("fastpath.icache.redecode", fp.icache_redecodes);
+    const auto& tlb = mmu_.tlb_stats();
+    sync("fastpath.tlb.hit", tlb.hits);
+    sync("fastpath.tlb.miss", tlb.misses);
+    sync("fastpath.tlb.flush", tlb.flushes);
+    const auto& pac = cpu_.pauth().pac_cache_stats();
+    sync("fastpath.pac.hit", pac.hits);
+    sync("fastpath.pac.miss", pac.misses);
+    reg.gauge("host.throughput").set(host_throughput());
+  }
   return cpu_.halted();
 }
 

@@ -54,7 +54,20 @@ class Machine {
 
   // ---- execution ----
   /// Run until halt or step budget exhaustion. Returns true if halted.
+  /// Host wall-clock spent inside the CPU loop is accumulated for the
+  /// throughput gauge (host-side only; simulated state is unaffected).
   bool run(uint64_t max_steps = 200'000'000);
+
+  /// Total host seconds spent in run() so far.
+  double host_seconds() const { return host_seconds_; }
+  /// Guest instructions retired per host second across all run() calls
+  /// (0 before the first run). Also published as the "host.throughput"
+  /// gauge on stats() when observability is enabled.
+  double host_throughput() const {
+    return host_seconds_ > 0
+               ? static_cast<double>(cpu_.instret()) / host_seconds_
+               : 0;
+  }
 
   bool halted() const { return cpu_.halted(); }
   uint64_t halt_code() const { return cpu_.halt_code(); }
@@ -101,6 +114,7 @@ class Machine {
   std::vector<obj::Image> user_images_;  ///< indexed by pid - 1
   std::vector<int> user_spaces_;
   unsigned next_pid_ = 1;
+  double host_seconds_ = 0;
 };
 
 }  // namespace camo::kernel

@@ -18,6 +18,7 @@ const char* fault_name(FaultKind k) {
 
 void Stage1Map::map_page(uint64_t va, uint64_t pa, PagePerms perms) {
   pages_[key(va)] = PageEntry{pa >> VaLayout::kPageShift, perms};
+  ++generation_;
 }
 
 void Stage1Map::map_range(uint64_t va, uint64_t pa, uint64_t len,
@@ -28,7 +29,10 @@ void Stage1Map::map_range(uint64_t va, uint64_t pa, uint64_t len,
     map_page(va + off, pa + off, perms);
 }
 
-void Stage1Map::unmap_page(uint64_t va) { pages_.erase(key(va)); }
+void Stage1Map::unmap_page(uint64_t va) {
+  pages_.erase(key(va));
+  ++generation_;
+}
 
 void Stage1Map::protect_range(uint64_t va, uint64_t len, PagePerms perms) {
   for (uint64_t off = 0; off < len; off += VaLayout::kPageSize) {
@@ -36,6 +40,7 @@ void Stage1Map::protect_range(uint64_t va, uint64_t len, PagePerms perms) {
     if (it == pages_.end()) fail("protect_range: page not mapped");
     it->second.perms = perms;
   }
+  ++generation_;
 }
 
 const PageEntry* Stage1Map::lookup(uint64_t va) const {
@@ -45,6 +50,7 @@ const PageEntry* Stage1Map::lookup(uint64_t va) const {
 
 void Stage2Map::restrict_page(uint64_t pa, Perms p) {
   pages_[pa >> VaLayout::kPageShift] = p;
+  ++generation_;
 }
 
 void Stage2Map::restrict_range(uint64_t pa, uint64_t len, Perms p) {
@@ -57,20 +63,28 @@ Stage2Map::Perms Stage2Map::lookup(uint64_t pa) const {
   return it == pages_.end() ? Perms{} : it->second;
 }
 
-TranslateResult Mmu::translate(uint64_t va, Access access, El el) const {
-  // A VA whose extension bits are not proper sign extension faults before
-  // translation — this is the mechanism by which PAC-poisoned pointers fault.
-  if (!layout_.is_canonical(va)) return {FaultKind::AddressSize, 0};
+TranslateResult Mmu::translate_miss(uint64_t va, uint64_t va_lookup,
+                                    const Stage1Map* map, Access access, El el,
+                                    TlbEntry& e, uint64_t s2_gen) const {
+  const TranslateResult r = translate_slow(va, va_lookup, map, access, el);
+  ++tlb_stats_.misses;
+  // Faults are never cached: only a fully permission-checked success may be
+  // replayed, and it is stamped with the generations it was checked against.
+  if (r.ok()) {
+    e = TlbEntry{va_lookup >> VaLayout::kPageShift,
+                 r.pa >> VaLayout::kPageShift, map->generation(), s2_gen};
+  }
+  return r;
+}
 
-  const bool kernel_half = VaLayout::is_kernel_va(va);
-  const Stage1Map* map = kernel_half ? kernel_map_ : user_map_;
-  if (map == nullptr) return {FaultKind::Translation, 0};
+void Mmu::flush_tlb() const {
+  for (auto& way : tlb_) way.fill(TlbEntry{});
+  ++tlb_stats_.flushes;
+}
 
-  // Under TBI the top byte does not participate in translation: reduce the
-  // VA to its addressing bits and re-extend, so tagged and untagged forms of
-  // the same user address hit the same page.
-  uint64_t va_lookup = va & mask(layout_.va_bits);
-  if (kernel_half) va_lookup |= ~mask(layout_.va_bits);
+TranslateResult Mmu::translate_slow(uint64_t va, uint64_t va_lookup,
+                                    const Stage1Map* map, Access access,
+                                    El el) const {
   const PageEntry* entry = map->lookup(va_lookup);
   if (entry == nullptr) return {FaultKind::Translation, 0};
 

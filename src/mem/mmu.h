@@ -11,8 +11,20 @@
 // than guest-memory-resident tables; the paper's threat model locks all MMU
 // control away from EL1 anyway (§3.1), so EL1 never walks or edits tables —
 // it requests changes via hypervisor calls.
+//
+// Fast path (DESIGN.md §3c): every successful translation can be served from
+// a small direct-mapped micro-TLB, one way per (EL, access) pair so
+// permission semantics are baked into the lookup key. Entries carry the
+// generation counters of the stage-1 half and the stage-2 overlay they were
+// validated against; any map/unmap/protect/restrict bumps the owning map's
+// generation, so a permission change is visible on the very next access.
+// Swapping whole maps (SwitchUserSpace installs a different Stage1Map
+// pointer) flushes the TLB outright. Faulting translations are never cached,
+// so PAC-poisoned (non-canonical) pointers fault identically with the TLB on
+// or off.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 
@@ -65,9 +77,14 @@ class Stage1Map {
   const PageEntry* lookup(uint64_t va) const;
   size_t page_count() const { return pages_.size(); }
 
+  /// Monotonic counter bumped on every mutation (map/unmap/protect); micro-
+  /// TLB entries validated against it go stale the moment the map changes.
+  uint64_t generation() const { return generation_; }
+
  private:
   static uint64_t key(uint64_t va) { return va >> VaLayout::kPageShift; }
   std::unordered_map<uint64_t, PageEntry> pages_;
+  uint64_t generation_ = 0;
 };
 
 /// Stage-2 permission overlay, keyed by physical page. Pages without an
@@ -88,8 +105,12 @@ class Stage2Map {
 
   Perms lookup(uint64_t pa) const;
 
+  /// Monotonic counter bumped on every restrict; see Stage1Map::generation.
+  uint64_t generation() const { return generation_; }
+
  private:
   std::unordered_map<uint64_t, Perms> pages_;
+  uint64_t generation_ = 0;
 };
 
 struct TranslateResult {
@@ -105,13 +126,57 @@ class Mmu {
  public:
   Mmu(PhysicalMemory& phys, VaLayout layout) : phys_(&phys), layout_(layout) {}
 
-  void set_user_map(const Stage1Map* m) { user_map_ = m; }
-  void set_kernel_map(const Stage1Map* m) { kernel_map_ = m; }
-  void set_stage2(const Stage2Map* m) { stage2_ = m; }
+  void set_user_map(const Stage1Map* m) {
+    user_map_ = m;
+    flush_tlb();
+  }
+  void set_kernel_map(const Stage1Map* m) {
+    kernel_map_ = m;
+    flush_tlb();
+  }
+  void set_stage2(const Stage2Map* m) {
+    stage2_ = m;
+    flush_tlb();
+  }
   const VaLayout& layout() const { return layout_; }
   PhysicalMemory& phys() { return *phys_; }
+  const PhysicalMemory& phys() const { return *phys_; }
 
-  TranslateResult translate(uint64_t va, Access access, El el) const;
+  /// Translate one access. Inline so the CPU's fetch/load/store hot loop can
+  /// resolve a micro-TLB hit without a function call; misses (and the
+  /// fast-path-off configuration) drop to the out-of-line slow walk.
+  TranslateResult translate(uint64_t va, Access access, El el) const {
+    // A VA whose extension bits are not proper sign extension faults before
+    // translation — this is the mechanism by which PAC-poisoned pointers
+    // fault. The canonical check always runs before the TLB probe, so a
+    // poisoned pointer can never hit a cached translation of its untagged
+    // form.
+    if (!layout_.is_canonical(va)) return {FaultKind::AddressSize, 0};
+
+    const bool kernel_half = VaLayout::is_kernel_va(va);
+    const Stage1Map* map = kernel_half ? kernel_map_ : user_map_;
+    if (map == nullptr) return {FaultKind::Translation, 0};
+
+    // Under TBI the top byte does not participate in translation: reduce the
+    // VA to its addressing bits and re-extend, so tagged and untagged forms
+    // of the same user address hit the same page. The TLB tag uses this
+    // reduced form for the same reason — both forms share one entry.
+    uint64_t va_lookup = va & mask(layout_.va_bits);
+    if (kernel_half) va_lookup |= ~mask(layout_.va_bits);
+
+    if (!fast_path_) return translate_slow(va, va_lookup, map, access, el);
+
+    const uint64_t tag = va_lookup >> VaLayout::kPageShift;
+    TlbEntry& e = tlb_[way_index(el, access)][tag & (kTlbEntries - 1)];
+    const uint64_t s2_gen = stage2_ != nullptr ? stage2_->generation() : 0;
+    if (e.va_page == tag && e.s1_gen == map->generation() &&
+        e.s2_gen == s2_gen) {
+      ++tlb_stats_.hits;
+      return {FaultKind::None, (e.pa_page << VaLayout::kPageShift) |
+                                   (va & mask(VaLayout::kPageShift))};
+    }
+    return translate_miss(va, va_lookup, map, access, el, e, s2_gen);
+  }
 
   // Convenience accessors used by the CPU and by hypervisor services.
   struct Read64 {
@@ -124,12 +189,55 @@ class Mmu {
   FaultKind write64(uint64_t va, uint64_t v, El el);
   FaultKind write8(uint64_t va, uint8_t v, El el);
 
+  // ---- micro-TLB ---------------------------------------------------------
+  /// Enable/disable the micro-TLB (the CPU propagates its fast-path toggle
+  /// here). Translation results are bit-for-bit identical either way.
+  void set_fast_path(bool on) {
+    fast_path_ = on;
+    flush_tlb();
+  }
+  bool fast_path() const { return fast_path_; }
+  /// Drop every cached translation (map-pointer swaps do this implicitly).
+  void flush_tlb() const;
+
+  struct TlbStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;   ///< slow-walked translations (successes installed)
+    uint64_t flushes = 0;  ///< whole-TLB invalidations (map pointer swaps)
+  };
+  const TlbStats& tlb_stats() const { return tlb_stats_; }
+
  private:
+  struct TlbEntry;
+  TranslateResult translate_slow(uint64_t va, uint64_t va_lookup,
+                                 const Stage1Map* map, Access access,
+                                 El el) const;
+  TranslateResult translate_miss(uint64_t va, uint64_t va_lookup,
+                                 const Stage1Map* map, Access access, El el,
+                                 TlbEntry& e, uint64_t s2_gen) const;
+  static unsigned way_index(El el, Access access) {
+    return unsigned(el) * 3 + unsigned(access);
+  }
+
   PhysicalMemory* phys_;
   VaLayout layout_;
   const Stage1Map* user_map_ = nullptr;
   const Stage1Map* kernel_map_ = nullptr;
   const Stage2Map* stage2_ = nullptr;
+
+  // Direct-mapped micro-TLB, one way per (EL, access). Mutable: a logically
+  // const translation may install/probe cache state.
+  struct TlbEntry {
+    uint64_t va_page = ~uint64_t{0};  ///< tag; post-TBI canonical page number
+    uint64_t pa_page = 0;
+    uint64_t s1_gen = 0;  ///< Stage1Map::generation at install time
+    uint64_t s2_gen = 0;  ///< Stage2Map::generation at install time
+  };
+  static constexpr unsigned kTlbEntries = 64;  // per (EL, access) way
+  using TlbWay = std::array<TlbEntry, kTlbEntries>;
+  mutable std::array<TlbWay, 9> tlb_{};  // index: el * 3 + access
+  mutable TlbStats tlb_stats_;
+  bool fast_path_ = true;
 };
 
 }  // namespace camo::mem

@@ -7,7 +7,10 @@
 
 namespace camo::mem {
 
-PhysicalMemory::PhysicalMemory(uint64_t size_bytes) : bytes_(size_bytes, 0) {}
+PhysicalMemory::PhysicalMemory(uint64_t size_bytes)
+    : bytes_(size_bytes, 0),
+      page_gen_((size_bytes + (uint64_t{1} << kPageShift) - 1) >> kPageShift,
+                0) {}
 
 void PhysicalMemory::check(uint64_t pa, uint64_t len) const {
   if (pa > bytes_.size() || len > bytes_.size() - pa)
@@ -36,21 +39,25 @@ uint64_t PhysicalMemory::read64(uint64_t pa) const {
 
 void PhysicalMemory::write8(uint64_t pa, uint8_t v) {
   check(pa, 1);
+  touch(pa, 1);
   bytes_[pa] = v;
 }
 
 void PhysicalMemory::write32(uint64_t pa, uint32_t v) {
   check(pa, 4);
+  touch(pa, 4);
   std::memcpy(&bytes_[pa], &v, 4);
 }
 
 void PhysicalMemory::write64(uint64_t pa, uint64_t v) {
   check(pa, 8);
+  touch(pa, 8);
   std::memcpy(&bytes_[pa], &v, 8);
 }
 
 void PhysicalMemory::write_block(uint64_t pa, const void* data, uint64_t len) {
   check(pa, len);
+  if (len != 0) touch(pa, len);
   std::memcpy(&bytes_[pa], data, len);
 }
 
@@ -61,6 +68,7 @@ void PhysicalMemory::read_block(uint64_t pa, void* data, uint64_t len) const {
 
 void PhysicalMemory::fill(uint64_t pa, uint8_t value, uint64_t len) {
   check(pa, len);
+  if (len != 0) touch(pa, len);
   std::memset(&bytes_[pa], value, len);
 }
 

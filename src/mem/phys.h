@@ -3,6 +3,13 @@
 // Out-of-range physical accesses throw camo::Error: guest code can only reach
 // physical memory through hypervisor-owned translations, so an out-of-range
 // PA indicates a host-side bug, not modeled guest behaviour.
+//
+// Every write bumps a per-4KiB-page monotonic generation counter. The CPU's
+// predecoded instruction cache keys decoded pages by (physical page,
+// generation), so any write-to-code — guest stores, the attacker's host-side
+// write primitive, module .text staged by the hypervisor, the bootloader
+// patching key-setter immediates — invalidates stale decodes without an
+// explicit invalidation call. Reads never bump a generation.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,9 @@ namespace camo::mem {
 
 class PhysicalMemory {
  public:
+  /// Fixed 4 KiB granule, matching VaLayout::kPageShift (mmu layer).
+  static constexpr unsigned kPageShift = 12;
+
   explicit PhysicalMemory(uint64_t size_bytes);
 
   uint64_t size() const { return bytes_.size(); }
@@ -28,9 +38,23 @@ class PhysicalMemory {
   void read_block(uint64_t pa, void* data, uint64_t len) const;
   void fill(uint64_t pa, uint8_t value, uint64_t len);
 
+  /// Monotonic write generation of the page holding `pa_page << kPageShift`.
+  /// Out-of-range pages read as generation 0 (they can never hold code).
+  uint64_t page_generation(uint64_t pa_page) const {
+    return pa_page < page_gen_.size() ? page_gen_[pa_page] : 0;
+  }
+  uint64_t page_count() const { return page_gen_.size(); }
+
  private:
   void check(uint64_t pa, uint64_t len) const;
+  /// Bump the generation of every page overlapping [pa, pa+len).
+  void touch(uint64_t pa, uint64_t len) {
+    const uint64_t last = (pa + len - 1) >> kPageShift;
+    for (uint64_t p = pa >> kPageShift; p <= last; ++p) ++page_gen_[p];
+  }
+
   std::vector<uint8_t> bytes_;
+  std::vector<uint64_t> page_gen_;
 };
 
 }  // namespace camo::mem

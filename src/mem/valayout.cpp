@@ -7,30 +7,6 @@
 
 namespace camo::mem {
 
-unsigned VaLayout::pac_width(uint64_t va) const {
-  unsigned w = 55 - va_bits;  // bits [54 : va_bits]
-  if (!tbi(va)) w += 8;       // bits [63:56]
-  return w;
-}
-
-uint64_t VaLayout::pac_mask(uint64_t va) const {
-  uint64_t m = mask(55 - va_bits) << va_bits;  // [54 : va_bits]
-  if (!tbi(va)) m |= mask(8) << 56;            // [63:56]
-  return m;
-}
-
-bool VaLayout::is_canonical(uint64_t va) const {
-  const uint64_t ext = is_kernel_va(va) ? ~uint64_t{0} : 0;
-  const uint64_t m = pac_mask(va);
-  return (va & m) == (ext & m);
-}
-
-uint64_t VaLayout::canonical(uint64_t va) const {
-  const uint64_t ext = is_kernel_va(va) ? ~uint64_t{0} : 0;
-  const uint64_t m = pac_mask(va);
-  return (va & ~m) | (ext & m);
-}
-
 std::string VaLayout::render_table1() const {
   // Table 1: VMSAv8 address ranges. With va_bits of addressing below bit 55,
   // the valid ranges are the sign-extended extremes of each half.

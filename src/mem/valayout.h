@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/bits.h"
+
 namespace camo::mem {
 
 struct VaLayout {
@@ -28,20 +30,39 @@ struct VaLayout {
     return is_kernel_va(va) ? tbi_kernel : tbi_user;
   }
 
+  // The four pointer-bit helpers are inline: is_canonical in particular runs
+  // once per simulated memory access, ahead of the micro-TLB probe.
+
   /// Number of PAC bits available for this address (paper Appendix A/B).
-  unsigned pac_width(uint64_t va) const;
+  unsigned pac_width(uint64_t va) const {
+    unsigned w = 55 - va_bits;  // bits [54 : va_bits]
+    if (!tbi(va)) w += 8;       // bits [63:56]
+    return w;
+  }
 
   /// Bitmask of the positions PAC bits occupy for this address: bits
   /// [54 : va_bits] always, plus [63:56] when TBI is off.
-  uint64_t pac_mask(uint64_t va) const;
+  uint64_t pac_mask(uint64_t va) const {
+    uint64_t m = mask(55 - va_bits) << va_bits;  // [54 : va_bits]
+    if (!tbi(va)) m |= mask(8) << 56;            // [63:56]
+    return m;
+  }
 
   /// True when the non-address bits are proper sign extension of bit 55
   /// (ignoring the top byte under TBI). Non-canonical addresses fault.
-  bool is_canonical(uint64_t va) const;
+  bool is_canonical(uint64_t va) const {
+    const uint64_t ext = is_kernel_va(va) ? ~uint64_t{0} : 0;
+    const uint64_t m = pac_mask(va);
+    return (va & m) == (ext & m);
+  }
 
   /// Replace non-address bits with the sign extension of bit 55 (keeping the
   /// top byte when TBI applies): the pointer as the hardware will use it.
-  uint64_t canonical(uint64_t va) const;
+  uint64_t canonical(uint64_t va) const {
+    const uint64_t ext = is_kernel_va(va) ? ~uint64_t{0} : 0;
+    const uint64_t m = pac_mask(va);
+    return (va & ~m) | (ext & m);
+  }
 
   /// The page offset / page-number split (Table 2). Page size is fixed 4 KiB.
   static constexpr unsigned kPageShift = 12;

@@ -15,6 +15,8 @@ std::string Registry::render_text() const {
                      name.c_str(), static_cast<unsigned long long>(h.count()),
                      h.mean(), static_cast<unsigned long long>(h.min()),
                      static_cast<unsigned long long>(h.max()));
+  for (const auto& [name, g] : gauges_)
+    out += strformat("%-32s %14.2f\n", name.c_str(), g.value());
   return out;
 }
 
@@ -39,6 +41,11 @@ std::string Registry::to_json() const {
     hs.set(name, std::move(stats));
   }
   root.set("histograms", std::move(hs));
+  if (!gauges_.empty()) {
+    json::Value gs = json::Value::object();
+    for (const auto& [name, g] : gauges_) gs.set(name, json::Value(g.value()));
+    root.set("gauges", std::move(gs));
+  }
   return root.dump(2);
 }
 

@@ -1,12 +1,15 @@
-// Metrics registry: named monotonic counters and cycle histograms.
+// Metrics registry: named monotonic counters, cycle histograms, and gauges.
 //
 // Counters only ever increase (there is deliberately no decrement or reset —
 // regression gating depends on monotonicity within a run). Histograms bucket
 // values by floor(log2) with exact count/sum/min/max, which is enough to
 // track syscall-latency distributions (Fig. 3) without storing samples.
+// Gauges are settable point-in-time doubles for host-side measurements that
+// are not monotonic in simulated work — e.g. guest-instructions-per-host-
+// second throughput; they are informational, never regression-gated.
 //
-// References returned by Registry::counter()/histogram() are stable for the
-// registry's lifetime, so hot emission paths can resolve a name once.
+// References returned by Registry::counter()/histogram()/gauge() are stable
+// for the registry's lifetime, so hot emission paths can resolve a name once.
 #pragma once
 
 #include <cstdint>
@@ -61,11 +64,23 @@ class Histogram {
   uint64_t buckets_[kBuckets] = {};
 };
 
+/// A point-in-time measurement. Unlike Counter it may move in either
+/// direction; host wall-clock derived values (throughput) live here.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
 class Registry {
  public:
   /// Get-or-create. References stay valid for the registry's lifetime.
   Counter& counter(const std::string& name) { return counters_[name]; }
   Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
 
   /// Query without creating: 0 / empty histogram stats for unknown names.
   uint64_t value(const std::string& name) const {
@@ -79,21 +94,29 @@ class Registry {
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
   }
+  const Gauge* find_gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+  }
 
   /// Name-sorted views (std::map iteration order).
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
 
   /// Human-readable dump (one metric per line).
   std::string render_text() const;
-  /// JSON object: {"counters": {...}, "histograms": {name: {count,sum,...}}}.
+  /// JSON object: {"counters": {...}, "histograms": {name: {count,sum,...}},
+  /// "gauges": {...}} — the "gauges" key is omitted when no gauge exists,
+  /// keeping pre-gauge consumers byte-compatible.
   std::string to_json() const;
 
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Gauge> gauges_;
 };
 
 }  // namespace camo::obs

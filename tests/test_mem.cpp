@@ -41,6 +41,33 @@ TEST(Phys, BlockOps) {
   EXPECT_EQ(pm.read8(0x10), 0u);
 }
 
+TEST(Phys, WritesBumpPageGenerationReadsDoNot) {
+  PhysicalMemory pm(0x3000);
+  EXPECT_EQ(pm.page_count(), 3u);
+  EXPECT_EQ(pm.page_generation(0), 0u);
+
+  pm.write8(0x10, 1);
+  pm.write32(0x20, 2);
+  pm.write64(0x30, 3);
+  EXPECT_EQ(pm.page_generation(0), 3u);
+  EXPECT_EQ(pm.page_generation(1), 0u) << "other pages untouched";
+
+  (void)pm.read64(0x10);
+  char scratch[8];
+  pm.read_block(0x10, scratch, sizeof scratch);
+  EXPECT_EQ(pm.page_generation(0), 3u) << "reads never bump a generation";
+
+  // A block write spanning a page boundary bumps both pages.
+  const uint8_t data[8] = {};
+  pm.write_block(0x0FFC, data, 8);
+  EXPECT_EQ(pm.page_generation(0), 4u);
+  EXPECT_EQ(pm.page_generation(1), 1u);
+  pm.fill(0x2000, 0xFF, 0x1000);
+  EXPECT_EQ(pm.page_generation(2), 1u);
+  // Out-of-range pages read as generation 0 (never hold code).
+  EXPECT_EQ(pm.page_generation(1000), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // VaLayout
 // ---------------------------------------------------------------------------
@@ -229,6 +256,133 @@ TEST(Stage1Map, UnalignedMapThrows) {
   Stage1Map m;
   EXPECT_THROW(m.map_range(0x1001, 0x2000, 0x1000, PagePerms::kernel_rw()),
                camo::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Fast path: generation counters + micro-TLB (DESIGN.md §3c)
+// ---------------------------------------------------------------------------
+
+TEST(Stage1Map, GenerationBumpsOnEveryMutation) {
+  Stage1Map m;
+  EXPECT_EQ(m.generation(), 0u);
+  m.map_page(0x1000, 0x2000, PagePerms::kernel_rw());
+  const uint64_t g1 = m.generation();
+  EXPECT_GT(g1, 0u);
+  m.protect_range(0x1000, 0x1000, PagePerms::kernel_ro());
+  const uint64_t g2 = m.generation();
+  EXPECT_GT(g2, g1);
+  m.unmap_page(0x1000);
+  EXPECT_GT(m.generation(), g2);
+}
+
+TEST(Stage2Map, GenerationBumpsOnRestrict) {
+  Stage2Map m;
+  EXPECT_EQ(m.generation(), 0u);
+  m.restrict_page(0x4000, Stage2Map::xom());
+  const uint64_t g1 = m.generation();
+  EXPECT_GT(g1, 0u);
+  m.restrict_range(0x8000, 0x2000, Stage2Map::read_only());
+  EXPECT_GT(m.generation(), g1);
+}
+
+TEST_F(MmuTest, TlbHitRepaysRepeatedTranslation) {
+  const auto before = mmu.tlb_stats();
+  const auto r1 = mmu.translate(kKernBase + 0x10, Access::Read, El::El1);
+  const auto r2 = mmu.translate(kKernBase + 0x18, Access::Read, El::El1);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.pa, r1.pa + 8);
+  EXPECT_EQ(mmu.tlb_stats().misses, before.misses + 1);
+  EXPECT_EQ(mmu.tlb_stats().hits, before.hits + 1);
+}
+
+TEST_F(MmuTest, TbiTaggedAndUntaggedShareOneTlbEntry) {
+  // The TLB tag is the post-TBI canonical page number, so the tagged form
+  // must hit the entry the untagged form installed (and vice versa).
+  const uint64_t untagged = kUserBase + 0x10;
+  const uint64_t tagged = 0xAB00000000400010ull;
+  const auto r1 = mmu.translate(untagged, Access::Read, El::El0);
+  const auto before = mmu.tlb_stats();
+  const auto r2 = mmu.translate(tagged, Access::Read, El::El0);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.pa, r2.pa);
+  EXPECT_EQ(mmu.tlb_stats().hits, before.hits + 1) << "tagged form must hit";
+  EXPECT_EQ(mmu.tlb_stats().misses, before.misses);
+}
+
+TEST_F(MmuTest, NonCanonicalFaultsIdenticallyWithCachesOn) {
+  // Warm the TLB with the legitimate pointer, then present its PAC-poisoned
+  // (non-canonical) form: it must fault before the probe, for data and fetch
+  // alike, exactly as with the fast path off.
+  ASSERT_TRUE(mmu.translate(kUserBase, Access::Read, El::El0).ok());
+  const uint64_t poisoned = kUserBase | (uint64_t{0x41} << 48);  // bits 54:48
+  const auto hits_before = mmu.tlb_stats().hits;
+  EXPECT_EQ(mmu.translate(poisoned, Access::Read, El::El0).fault,
+            FaultKind::AddressSize);
+  EXPECT_EQ(mmu.translate(poisoned, Access::Fetch, El::El0).fault,
+            FaultKind::AddressSize);
+  EXPECT_EQ(mmu.tlb_stats().hits, hits_before)
+      << "a poisoned VA must never hit a cached translation";
+
+  mmu.set_fast_path(false);
+  EXPECT_EQ(mmu.translate(poisoned, Access::Read, El::El0).fault,
+            FaultKind::AddressSize);
+  EXPECT_EQ(mmu.translate(poisoned, Access::Fetch, El::El0).fault,
+            FaultKind::AddressSize);
+}
+
+TEST_F(MmuTest, FaultingTranslationsAreNeverCached) {
+  const uint64_t unmapped = kKernBase + 0x100000;
+  EXPECT_EQ(mmu.translate(unmapped, Access::Read, El::El1).fault,
+            FaultKind::Translation);
+  const auto before = mmu.tlb_stats();
+  EXPECT_EQ(mmu.translate(unmapped, Access::Read, El::El1).fault,
+            FaultKind::Translation);
+  EXPECT_EQ(mmu.tlb_stats().hits, before.hits);
+  EXPECT_EQ(mmu.tlb_stats().misses, before.misses + 1);
+}
+
+TEST_F(MmuTest, ProtectRangeVisibleOnTheVeryNextAccess) {
+  // Warm both the read and write ways, then drop the write permission: the
+  // generation bump must invalidate the cached write translation instantly.
+  ASSERT_TRUE(mmu.translate(kKernBase, Access::Write, El::El1).ok());
+  ASSERT_TRUE(mmu.translate(kKernBase, Access::Read, El::El1).ok());
+  kmap.protect_range(kKernBase, 0x1000, PagePerms::kernel_ro());
+  EXPECT_EQ(mmu.translate(kKernBase, Access::Write, El::El1).fault,
+            FaultKind::Permission);
+  EXPECT_TRUE(mmu.translate(kKernBase, Access::Read, El::El1).ok());
+}
+
+TEST_F(MmuTest, Stage2RestrictVisibleOnTheVeryNextAccess) {
+  mmu.set_stage2(&s2);
+  ASSERT_TRUE(mmu.translate(kKernBase, Access::Read, El::El1).ok());  // warm
+  s2.restrict_range(0x10000, 0x1000, Stage2Map::xom());
+  EXPECT_EQ(mmu.translate(kKernBase, Access::Read, El::El1).fault,
+            FaultKind::Stage2);
+}
+
+TEST_F(MmuTest, MapPointerSwapFlushesTlb) {
+  // Two address spaces with the same VA mapped to different PAs: the cached
+  // entry from the first space must not leak into the second.
+  Stage1Map other;
+  other.map_range(kUserBase, 0x30000, 0x1000, PagePerms::user_rw());
+  const auto r1 = mmu.translate(kUserBase, Access::Read, El::El0);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.pa, 0x20000u);
+  mmu.set_user_map(&other);
+  const auto r2 = mmu.translate(kUserBase, Access::Read, El::El0);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.pa, 0x30000u);
+}
+
+TEST_F(MmuTest, FastPathOffTakesNoTlbStats) {
+  mmu.set_fast_path(false);
+  const auto before = mmu.tlb_stats();
+  ASSERT_TRUE(mmu.translate(kKernBase, Access::Read, El::El1).ok());
+  ASSERT_TRUE(mmu.translate(kKernBase, Access::Read, El::El1).ok());
+  EXPECT_EQ(mmu.tlb_stats().hits, before.hits);
+  EXPECT_EQ(mmu.tlb_stats().misses, before.misses);
 }
 
 }  // namespace

@@ -102,6 +102,28 @@ TEST(Metrics, HistogramStats) {
   EXPECT_EQ(h.bucket(6), 1u);
 }
 
+TEST(Metrics, GaugesSetAndExport) {
+  Registry reg;
+  EXPECT_EQ(reg.find_gauge("host.throughput"), nullptr);
+  // A registry without gauges must serialize exactly as before they existed.
+  EXPECT_EQ(reg.to_json().find("gauges"), std::string::npos);
+
+  Gauge& g = reg.gauge("host.throughput");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(1.25e6);
+  EXPECT_DOUBLE_EQ(g.value(), 1.25e6);
+  g.set(8e5);  // gauges are settable both directions, unlike counters
+  EXPECT_DOUBLE_EQ(g.value(), 8e5);
+  ASSERT_NE(reg.find_gauge("host.throughput"), nullptr);
+  EXPECT_EQ(&reg.gauge("host.throughput"), &g);
+
+  const auto parsed = json::Value::parse(reg.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(
+      parsed->get("gauges")->get("host.throughput")->as_number(), 8e5);
+  EXPECT_NE(reg.render_text().find("host.throughput"), std::string::npos);
+}
+
 TEST(Json, RoundTrip) {
   json::Value root = json::Value::object();
   root.set("name", json::Value("camo"));
@@ -205,6 +227,27 @@ TEST(Observability, ElCycleCountersSumToCpuCycles) {
   const uint64_t insns = reg.value("insn.el0") + reg.value("insn.el1") +
                          reg.value("insn.el2");
   EXPECT_EQ(insns, m.cpu().instret());
+}
+
+TEST(Observability, FastPathCountersAndThroughputGaugePublished) {
+  kernel::Machine m(observed_config());
+  m.add_user_program(kernel::workloads::null_syscall(50));
+  m.boot();
+  ASSERT_TRUE(m.run());
+  const Registry& reg = m.stats()->metrics();
+  // Every retired instruction is exactly one predecode-cache event.
+  const uint64_t events = reg.value("fastpath.icache.hit") +
+                          reg.value("fastpath.icache.miss") +
+                          reg.value("fastpath.icache.redecode");
+  EXPECT_EQ(events, m.cpu().instret());
+  EXPECT_GT(reg.value("fastpath.tlb.hit"), 0u);
+  EXPECT_GT(reg.value("fastpath.tlb.miss"), 0u);
+  // Full protection signs/authenticates on every call; repeats must memoize.
+  EXPECT_GT(reg.value("fastpath.pac.hit"), 0u);
+  const Gauge* g = reg.find_gauge("host.throughput");
+  ASSERT_NE(g, nullptr);
+  EXPECT_GT(g->value(), 0.0) << "guest insns per host second must be set";
+  EXPECT_DOUBLE_EQ(g->value(), m.host_throughput());
 }
 
 TEST(Observability, FlatProfileAccountsForEveryCycle) {

@@ -144,6 +144,67 @@ TEST(PerfDiff, UnitCostClassification) {
   EXPECT_FALSE(unit_is_cost("tries"));
 }
 
+TEST(PerfDiff, InformationalUnitClassification) {
+  EXPECT_TRUE(unit_is_informational("insns/s"));
+  EXPECT_TRUE(unit_is_informational("ns"));
+  EXPECT_TRUE(unit_is_informational("us"));
+  EXPECT_TRUE(unit_is_informational("ms"));
+  EXPECT_TRUE(unit_is_informational("seconds-host"));
+  EXPECT_FALSE(unit_is_informational("cycles"));
+  EXPECT_FALSE(unit_is_informational("cycles/op"));
+  EXPECT_FALSE(unit_is_informational("ratio"));
+  // "ns" is cost-shaped AND informational; informational wins in diff().
+  EXPECT_TRUE(unit_is_cost("ns"));
+}
+
+TEST(PerfDiff, InformationalSeriesAreReportedButNeverGated) {
+  // Host throughput swings wildly between machines; a 10x move in either
+  // direction must not fail the gate, but the delta must still be printed.
+  const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op"),
+                                pt("fastpath-on", "read", 4e6, "insns/s")});
+  const auto cur = doc("Fig", {pt("full", "read", 1000, "cycles/op"),
+                               pt("fastpath-on", "read", 4e7, "insns/s")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.regressed, 0);
+  EXPECT_EQ(rep.improved, 0);
+  ASSERT_EQ(rep.deltas.size(), 2u);
+  EXPECT_EQ(rep.deltas[1].status, Status::Info);
+  EXPECT_NEAR(rep.deltas[1].pct, 900.0, 1e-9);
+  const std::string md = rep.markdown();
+  EXPECT_NE(md.find("info"), std::string::npos) << md;
+  EXPECT_NE(md.find("+900.00%"), std::string::npos) << md;
+}
+
+TEST(PerfDiff, InformationalWallClockDropNeverImproves) {
+  // "ns" is a cost unit by shape but host wall clock by nature: a 50% drop
+  // is reported as info, not counted as an improvement or regression.
+  const auto base = doc("Fig", {pt("full", "read", 200, "ns")});
+  const auto cur = doc("Fig", {pt("full", "read", 100, "ns")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.improved, 0);
+  EXPECT_EQ(rep.deltas[0].status, Status::Info);
+}
+
+TEST(PerfDiff, InformationalSeriesExemptFromMissingAndNewGates) {
+  // Baselines recorded before a host-metric existed (or after it was
+  // dropped) must keep passing even under the strictest options.
+  Options strict;
+  strict.allow_missing = false;
+  strict.allow_new = false;
+  const auto with = doc("Fig", {pt("full", "read", 1000, "cycles/op"),
+                                pt("fastpath-on", "read", 4e6, "insns/s")});
+  const auto without = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
+  const auto gained = diff({without}, {with}, strict);
+  EXPECT_TRUE(gained.ok) << gained.markdown();
+  EXPECT_EQ(gained.added, 0);
+  EXPECT_EQ(gained.deltas.back().status, Status::Info);
+  const auto lost = diff({with}, {without}, strict);
+  EXPECT_TRUE(lost.ok) << lost.markdown();
+  EXPECT_EQ(lost.missing, 0);
+}
+
 TEST(PerfDiff, MarkdownReportNamesTheOffender) {
   const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
   const auto cur = doc("Fig", {pt("full", "read", 1200, "cycles/op")});

@@ -17,6 +17,7 @@ const char* status_name(Status s) {
     case Status::Changed: return "CHANGED";
     case Status::Missing: return "MISSING";
     case Status::New: return "new";
+    case Status::Info: return "info";
   }
   return "<bad-status>";
 }
@@ -26,6 +27,17 @@ bool unit_is_cost(const std::string& unit) {
   if (unit.rfind("cycles", 0) == 0) return true;
   return unit == "ns" || unit == "us" || unit == "ms" || unit == "insns" ||
          unit == "instructions" || unit == "bytes";
+}
+
+bool unit_is_informational(const std::string& unit) {
+  // Host-throughput series and anything explicitly host-suffixed. Wall-clock
+  // units are cost-shaped but host-dependent, so they are informational too.
+  if (unit == "insns/s" || unit == "ns" || unit == "us" || unit == "ms")
+    return true;
+  static const std::string kSuffix = "-host";
+  return unit.size() >= kSuffix.size() &&
+         unit.compare(unit.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+             0;
 }
 
 namespace {
@@ -64,12 +76,15 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
     Delta d;
     std::tie(d.bench, d.config, d.benchmark, d.unit) = k;
     d.baseline = base_vals.at(k);
+    const bool info = unit_is_informational(d.unit);
     const auto it = cur_vals.find(k);
     if (it == cur_vals.end()) {
       d.current = 0;
       d.pct = 0;
-      d.status = Status::Missing;
-      ++rep.missing;
+      // Informational series are report-only: their absence is not a
+      // gateable event either.
+      d.status = info ? Status::Info : Status::Missing;
+      if (!info) ++rep.missing;
       rep.deltas.push_back(std::move(d));
       continue;
     }
@@ -78,6 +93,11 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
       d.pct = (d.current - d.baseline) / std::fabs(d.baseline) * 100.0;
     } else {
       d.pct = d.current == 0 ? 0.0 : 100.0;  // 0 -> nonzero: flag it
+    }
+    if (info) {
+      d.status = Status::Info;  // printed with its delta, never gated
+      rep.deltas.push_back(std::move(d));
+      continue;
     }
     const bool beyond = std::fabs(d.pct) > opts.threshold_pct;
     if (!beyond) {
@@ -97,8 +117,12 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
     Delta d;
     std::tie(d.bench, d.config, d.benchmark, d.unit) = k;
     d.current = cur_vals.at(k);
-    d.status = Status::New;
-    ++rep.added;
+    if (unit_is_informational(d.unit)) {
+      d.status = Status::Info;  // new informational series never gate
+    } else {
+      d.status = Status::New;
+      ++rep.added;
+    }
     rep.deltas.push_back(std::move(d));
   }
 
@@ -115,7 +139,8 @@ std::string Report::markdown() const {
     const std::string series =
         d.bench + " / " + d.config + " / " + d.benchmark;
     std::string delta_txt;
-    if (d.status == Status::Missing || d.status == Status::New)
+    if (d.status == Status::Missing || d.status == Status::New ||
+        (d.status == Status::Info && d.baseline == 0))
       delta_txt = "-";
     else
       delta_txt = strformat("%+.2f%%", d.pct);

@@ -17,6 +17,12 @@
 // any move beyond the threshold is flagged as CHANGED, because for a
 // deterministic simulation an unexplained change in either direction means
 // the behaviour changed, which is what the gate exists to catch.
+//
+// Informational units are the exception to both rules: host-dependent
+// measurements (wall-clock "ns"/"us"/"ms", "insns/s" host throughput, and
+// any "*-host" suffixed unit) vary run to run and machine to machine, so
+// they are printed in the delta table with the "info" status but never
+// counted toward the gate — not as regressions, not as missing, not as new.
 #pragma once
 
 #include <cstdint>
@@ -40,12 +46,16 @@ enum class Status : uint8_t {
   Changed,   ///< exact-gated unit moved beyond the threshold
   Missing,   ///< in the baseline, absent from the current run
   New,       ///< in the current run, absent from the baseline
+  Info,      ///< informational unit: reported, never gated
 };
 
 const char* status_name(Status s);
 
 /// True for units where smaller is faster ("cycles", "cycles/op", "ns"...).
 bool unit_is_cost(const std::string& unit);
+/// True for host-dependent units that are report-only ("insns/s", wall-clock
+/// "ns"/"us"/"ms", "*-host"). Takes precedence over unit_is_cost in diff().
+bool unit_is_informational(const std::string& unit);
 
 struct Delta {
   std::string bench, config, benchmark, unit;
