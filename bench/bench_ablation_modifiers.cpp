@@ -8,6 +8,7 @@
 // into the other. We sample contexts from the kernel's actual stack layout
 // (16 KiB stacks, tops congruent modulo 2^16 across threads).
 #include <cstdio>
+#include <iterator>
 #include <unordered_map>
 #include <vector>
 
@@ -72,30 +73,46 @@ int main(int argc, char** argv) {
               contexts.size());
   std::printf("%-14s %16s %18s %20s\n", "scheme", "distinct mods",
               "colliding pairs", "cross-thread pairs");
-  for (const auto s : {BackwardScheme::ClangSp, BackwardScheme::Parts,
-                       BackwardScheme::Camouflage}) {
+  const BackwardScheme schemes[] = {BackwardScheme::ClangSp,
+                                    BackwardScheme::Parts,
+                                    BackwardScheme::Camouflage};
+  struct SchemeCount {
+    size_t distinct = 0;
+    uint64_t pairs = 0;
+    uint64_t cross = 0;
+  };
+  // The per-scheme collision counts are independent scans over the shared
+  // immutable context sample: compute through the session fleet, print in
+  // scheme order (byte-identical to the serial loop at any --jobs value).
+  const auto counts = session.fleet(std::size(schemes), [&](size_t si) {
     std::unordered_map<uint64_t, std::vector<const Context*>> buckets;
-    for (const auto& c : contexts) buckets[modifier(s, c)].push_back(&c);
-    uint64_t pairs = 0, cross = 0;
+    for (const auto& c : contexts) buckets[modifier(schemes[si], c)].push_back(&c);
+    SchemeCount out;
+    out.distinct = buckets.size();
     for (const auto& [mod, v] : buckets) {
       for (size_t i = 0; i < v.size(); ++i)
         for (size_t j = i + 1; j < v.size(); ++j) {
           // only count pairs from *different* contexts
           if (v[i]->fn == v[j]->fn && v[i]->sp == v[j]->sp) continue;
-          ++pairs;
-          cross += v[i]->thread != v[j]->thread;
+          ++out.pairs;
+          out.cross += v[i]->thread != v[j]->thread;
         }
     }
+    return out;
+  });
+  for (size_t si = 0; si < std::size(schemes); ++si) {
+    const SchemeCount& n = counts[si];
     std::printf("%-14s %16zu %18llu %20llu\n",
-                compiler::backward_scheme_name(s), buckets.size(),
-                static_cast<unsigned long long>(pairs),
-                static_cast<unsigned long long>(cross));
-    const char* cfg = compiler::backward_scheme_name(s);
+                compiler::backward_scheme_name(schemes[si]), n.distinct,
+                static_cast<unsigned long long>(n.pairs),
+                static_cast<unsigned long long>(n.cross));
+    const char* cfg = compiler::backward_scheme_name(schemes[si]);
     session.add(cfg, "distinct modifiers",
-                static_cast<double>(buckets.size()), "modifiers");
-    session.add(cfg, "colliding pairs", static_cast<double>(pairs), "pairs");
+                static_cast<double>(n.distinct), "modifiers");
+    session.add(cfg, "colliding pairs", static_cast<double>(n.pairs),
+                "pairs");
     session.add(cfg, "cross-thread colliding pairs",
-                static_cast<double>(cross), "pairs");
+                static_cast<double>(n.cross), "pairs");
   }
 
   std::printf(

@@ -40,10 +40,16 @@ int main(int argc, char** argv) {
   const std::vector<unsigned> thresholds =
       s.smoke() ? std::vector<unsigned>{2u, 4u}
                 : std::vector<unsigned>{2u, 4u, 8u, 16u};
-  for (const unsigned threshold : thresholds) {
-    const auto r =
-        attacks::run_bruteforce(compiler::ProtectionConfig::full(), threshold,
-                                threshold + 8);
+  // One independent machine per threshold: compute the sweep through the
+  // session fleet, then print in threshold order (byte-identical to the
+  // serial loop at any --jobs value).
+  const auto reports = s.fleet(thresholds.size(), [&](size_t i) {
+    return attacks::run_bruteforce(compiler::ProtectionConfig::full(),
+                                   thresholds[i], thresholds[i] + 8);
+  });
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    const unsigned threshold = thresholds[i];
+    const auto& r = reports[i];
     std::printf("  %10u %12llu %14s %12llu\n", threshold,
                 static_cast<unsigned long long>(r.attempts),
                 r.halt_code == kernel::kHaltPacPanic ? "PANIC (§5.4)"

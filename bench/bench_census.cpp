@@ -9,6 +9,8 @@
 // distribution is calibrated to the paper's findings) and over distorted
 // corpora, checking the tool recovers the planted ground truth.
 #include <cstdio>
+#include <iterator>
+#include <string>
 
 #include "analysis/census.h"
 #include "bench_util.h"
@@ -20,12 +22,36 @@ int main(int argc, char** argv) {
       "1285 run-time-assigned fn-ptr members in 504 types; 229 types with "
       ">1 (convert to const ops structures)");
 
-  const CorpusSpec spec;  // calibrated to the paper's Linux 5.2 numbers
-  const std::string corpus = generate_driver_corpus(spec);
-  const CensusResult r = run_census(corpus);
+  // Four independent corpora: the calibrated one (task 0) plus three
+  // scaled shapes. Each generates + scans its own source string, so the
+  // whole set shards across the session fleet; printing stays serial in
+  // the original order (byte-identical at any --jobs value).
+  const unsigned scales[] = {1u, 2u, 4u};
+  struct CensusRun {
+    size_t corpus_bytes = 0;
+    CorpusSpec spec;
+    CensusResult r;
+  };
+  const auto runs =
+      session.fleet(1 + std::size(scales), [&](size_t i) {
+        CensusRun out;
+        if (i > 0) {  // scaled corpus; i == 0 keeps the calibrated default
+          const unsigned scale = scales[i - 1];
+          out.spec.single_ptr_types = 50 * scale;
+          out.spec.multi_ptr_types = 30 * scale;
+          out.spec.total_members = 200 * scale;
+          out.spec.const_ops_types = 20;
+          out.spec.seed = scale;
+        }
+        const std::string corpus = generate_driver_corpus(out.spec);
+        out.corpus_bytes = corpus.size();
+        out.r = run_census(corpus);
+        return out;
+      });
+  const CensusResult& r = runs[0].r;
 
   std::printf("corpus: %zu bytes of synthetic driver source\n\n",
-              corpus.size());
+              runs[0].corpus_bytes);
   std::printf("%-46s %10s %10s\n", "metric", "paper", "measured");
   std::printf("%-46s %10u %10u\n", "runtime-assigned fn-ptr members", 1285,
               r.runtime_assigned_members);
@@ -49,19 +75,14 @@ int main(int argc, char** argv) {
   std::printf("\nscaling check (tool must track planted ground truth):\n");
   std::printf("  %8s %8s %8s | %10s %10s %10s\n", "members", "single",
               "multi", "found mem", "found typ", "found >1");
-  for (const unsigned scale : {1u, 2u, 4u}) {
-    CorpusSpec s;
-    s.single_ptr_types = 50 * scale;
-    s.multi_ptr_types = 30 * scale;
-    s.total_members = 200 * scale;
-    s.const_ops_types = 20;
-    s.seed = scale;
-    const auto res = run_census(generate_driver_corpus(s));
+  for (size_t k = 0; k < std::size(scales); ++k) {
+    const CorpusSpec& s = runs[1 + k].spec;
+    const CensusResult& res = runs[1 + k].r;
     std::printf("  %8u %8u %8u | %10u %10u %10u\n", s.total_members,
                 s.single_ptr_types, s.multi_ptr_types,
                 res.runtime_assigned_members, res.types_with_runtime_members,
                 res.types_with_multiple);
-    session.add("scale" + std::to_string(scale), "recovered members",
+    session.add("scale" + std::to_string(scales[k]), "recovered members",
                 res.runtime_assigned_members, "members",
                 static_cast<double>(res.runtime_assigned_members) /
                     s.total_members);

@@ -11,6 +11,8 @@
 // plus the backward-edge replay matrix (§6.2.1/§7) separating the three
 // modifier schemes.
 #include <cstdio>
+#include <functional>
+#include <iterator>
 
 #include "attacks/attacks.h"
 #include "bench_util.h"
@@ -66,15 +68,48 @@ int main(int argc, char** argv) {
   // is the default.
   const size_t ncfg = session.smoke() ? 3 : 4;
 
+  // Every cell of the matrix — and every one-off attack below it — boots
+  // its own machine; all are independent, so the whole sweep is computed
+  // through the session's work-stealing fleet first and printed serially
+  // afterwards in the original row-major order. stdout and the emitted
+  // JSON are byte-identical to the serial code at any --jobs value.
+  const size_t nrows = std::size(attack_rows);
+  const auto outcomes = session.fleet(nrows * ncfg, [&](size_t t) {
+    return attack_rows[t / ncfg].fn(cfgs[t % ncfg].prot).outcome;
+  });
+
+  ProtectionConfig zero = ProtectionConfig::full();
+  zero.apple_zero_modifier = true;
+  const std::function<AttackReport()> extra_runs[] = {
+      [] { return attacks::run_bruteforce(ProtectionConfig::full(), 8, 16); },
+      [] {
+        return attacks::run_trapframe_escalation(ProtectionConfig::full(),
+                                                 false);
+      },
+      [] {
+        return attacks::run_trapframe_escalation(ProtectionConfig::full(),
+                                                 true);
+      },
+      [&zero] { return attacks::run_fops_cross_object_swap(zero); },
+      [] {
+        return attacks::run_fops_cross_object_swap(ProtectionConfig::full());
+      },
+  };
+  const auto extras =
+      session.fleet(std::size(extra_runs), [&](size_t i) {
+        return extra_runs[i]();
+      });
+
   std::printf("%-38s", "attack \\ protection");
   for (size_t ci = 0; ci < ncfg; ++ci) std::printf(" %-12s", cfgs[ci].name);
   std::printf("\n%.*s\n", 96,
               "--------------------------------------------------------------"
               "--------------------------------------------------");
-  for (const auto& a : attack_rows) {
+  for (size_t ri = 0; ri < nrows; ++ri) {
+    const auto& a = attack_rows[ri];
     std::printf("%-38s", a.name);
     for (size_t ci = 0; ci < ncfg; ++ci) {
-      const Outcome o = a.fn(cfgs[ci].prot).outcome;
+      const Outcome o = outcomes[ri * ncfg + ci];
       std::printf(" %-12s", attacks::outcome_name(o));
       session.add(cfgs[ci].name, a.name, static_cast<double>(o),
                   "outcome (0=hijacked 1=detected 2=blocked)");
@@ -84,7 +119,7 @@ int main(int argc, char** argv) {
 
   // Brute force (§5.4) under the default threshold.
   {
-    const auto r = attacks::run_bruteforce(ProtectionConfig::full(), 8, 16);
+    const AttackReport& r = extras[0];
     std::printf("%-38s %s after %llu attempts (threshold 8, halt=0x%llx)\n",
                 "PAC brute force (§5.4)", attacks::outcome_name(r.outcome),
                 static_cast<unsigned long long>(r.attempts),
@@ -95,10 +130,8 @@ int main(int argc, char** argv) {
 
   // §8 extension: forged saved exception state (ERET-to-EL1 escalation).
   {
-    const auto off =
-        attacks::run_trapframe_escalation(ProtectionConfig::full(), false);
-    const auto on =
-        attacks::run_trapframe_escalation(ProtectionConfig::full(), true);
+    const AttackReport& off = extras[1];
+    const AttackReport& on = extras[2];
     std::printf("%-38s %s; with signed trapframe (§8 ext.): %s\n",
                 "trapframe ELR/SPSR rewrite (§8)",
                 attacks::outcome_name(off.outcome),
@@ -113,15 +146,10 @@ int main(int argc, char** argv) {
 
   // Ablation: Apple-style zero modifiers (§7) lose object binding.
   {
-    ProtectionConfig zero = ProtectionConfig::full();
-    zero.apple_zero_modifier = true;
-    const auto r = attacks::run_fops_cross_object_swap(zero);
     std::printf("%-38s %s (object-bound modifier: %s)\n",
                 "cross-object reuse, zero modifier",
-                attacks::outcome_name(r.outcome),
-                attacks::outcome_name(
-                    attacks::run_fops_cross_object_swap(ProtectionConfig::full())
-                        .outcome));
+                attacks::outcome_name(extras[3].outcome),
+                attacks::outcome_name(extras[4].outcome));
   }
 
   // Replay matrix.
@@ -141,11 +169,22 @@ int main(int argc, char** argv) {
   } schemes[] = {{"clang-sp", BackwardScheme::ClangSp},
                  {"parts", BackwardScheme::Parts},
                  {"camouflage", BackwardScheme::Camouflage}};
-  for (const auto sc : scenarios) {
+  // The on-CPU replay checks each boot a machine; shard them like the
+  // matrix (int, not bool: vector<bool> packs bits and concurrent writes
+  // to neighbouring cells would race).
+  const size_t nschemes = std::size(schemes);
+  const auto cpu_accepts = session.fleet(
+      std::size(scenarios) * nschemes, [&](size_t t) {
+        return static_cast<int>(attacks::replay_accepted_on_cpu(
+            schemes[t % nschemes].scheme, scenarios[t / nschemes]));
+      });
+  for (size_t si = 0; si < std::size(scenarios); ++si) {
+    const auto sc = scenarios[si];
     std::printf("%-28s", attacks::replay_scenario_name(sc));
-    for (const auto& sch : schemes) {
+    for (size_t ki = 0; ki < nschemes; ++ki) {
+      const auto& sch = schemes[ki];
       const bool host = attacks::replay_accepted(sch.scheme, sc);
-      const bool cpu = attacks::replay_accepted_on_cpu(sch.scheme, sc);
+      const bool cpu = cpu_accepts[si * nschemes + ki] != 0;
       std::printf(" %-10s", host == cpu ? (host ? "  BYPASS" : "  caught")
                                         : "MISMATCH");
       if (sch.scheme == BackwardScheme::Parts) std::printf("  ");

@@ -10,7 +10,8 @@
 // Every bench binary drives a bench::Session, which
 //   * prints the figure header,
 //   * parses the shared flags (--json <path>, --smoke, --trace <path>,
-//     --folded <path>, --seed <u64>) and compacts them out of argv so
+//     --folded <path>, --seed <u64>, --jobs <n>) and compacts them out of
+//     argv so
 //     binaries with their own flag parsing (bench_qarma) still work; a
 //     value-taking flag with a missing or malformed value is a hard error
 //     (exit 2), never silently dropped,
@@ -27,14 +28,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compiler/instrument.h"
 #include "kernel/machine.h"
 #include "obs/bench_schema.h"
 #include "obs/json.h"
+#include "par/pool.h"
 
 namespace camo::bench {
 
@@ -141,6 +145,12 @@ class Session {
     std::string folded_path;
     std::optional<uint64_t> seed;
     bool smoke = false;
+    /// Host threads for fleet()-sharded sweeps: --jobs N, else the
+    /// CAMO_JOBS environment variable, else 1. Never affects simulated
+    /// results — only wall-clock (DESIGN.md §3d). Recorded in the emitted
+    /// JSON header when != 1 so camo-perfdiff can refuse cross-jobs gating;
+    /// omitted at 1 to keep serial output byte-identical to pre-fleet runs.
+    unsigned jobs = 1;
   };
 
   /// Parse and compact the shared flags out of argv. Returns an empty
@@ -149,6 +159,7 @@ class Session {
   static std::string parse_flags(int& argc, char** argv, Flags& out) {
     int kept = 1;
     std::string error;
+    bool jobs_set = false;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       // --flag <value> or --flag=<value>; empty/missing values are errors.
@@ -198,9 +209,26 @@ class Session {
         continue;
       }
       if (matched) break;
+      std::string jobs_text;
+      if (take_value("--jobs", jobs_text, matched)) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(jobs_text.c_str(), &end, 0);
+        // strtoull wraps negative input; reject explicit signs outright.
+        if (jobs_text[0] == '-' || jobs_text[0] == '+' ||
+            end == jobs_text.c_str() || *end != '\0' || v == 0) {
+          error = "--jobs wants a positive integer, got \"" + jobs_text + "\"";
+          break;
+        }
+        out.jobs = static_cast<unsigned>(
+            v > par::Pool::kMaxJobs ? par::Pool::kMaxJobs : v);
+        jobs_set = true;
+        continue;
+      }
+      if (matched) break;
       argv[kept++] = argv[i];  // not ours: keep for the binary's own parser
     }
     if (error.empty()) {
+      if (!jobs_set) out.jobs = par::Pool::env_jobs();
       argc = kept;
       argv[argc] = nullptr;
     }
@@ -233,6 +261,25 @@ class Session {
   const std::string& json_path() const { return flags_.json_path; }
   const std::string& trace_path() const { return flags_.trace_path; }
   const std::string& folded_path() const { return flags_.folded_path; }
+  unsigned jobs() const { return flags_.jobs; }
+
+  /// The session's work-stealing pool, sized by --jobs / CAMO_JOBS
+  /// (constructed on first use; at --jobs 1 fleet() runs inline and the
+  /// pool spawns no threads).
+  par::Pool& pool() {
+    if (!pool_) pool_ = std::make_unique<par::Pool>(flags_.jobs);
+    return *pool_;
+  }
+
+  /// Shard n independent work items across the pool: out[i] = fn(i),
+  /// results in index order regardless of thread count. Benches compute
+  /// their sweep through fleet(), then print and add() the results
+  /// serially in the original loop order — stdout and the emitted JSON
+  /// stay byte-identical to the serial code at every jobs value.
+  template <class Fn>
+  auto fleet(size_t n, Fn&& fn) -> std::vector<decltype(fn(size_t{0}))> {
+    return pool().map(n, std::forward<Fn>(fn));
+  }
 
   /// The RNG seed for this run: the --seed value when given, else
   /// `fallback`. Whichever is returned is recorded in the emitted JSON, so
@@ -265,6 +312,10 @@ class Session {
     doc.set("title", obs::json::Value(title_));
     doc.set("smoke", obs::json::Value(flags_.smoke));
     if (flags_.seed) doc.set("seed", obs::json::Value(*flags_.seed));
+    // Absent means 1: serial artifacts stay byte-identical to pre-fleet
+    // recordings, and camo-perfdiff treats "jobs" mismatches as incomparable.
+    if (flags_.jobs != 1)
+      doc.set("jobs", obs::json::Value(static_cast<uint64_t>(flags_.jobs)));
     obs::json::Value series = obs::json::Value::array();
     for (const SeriesPoint& p : series_) {
       obs::json::Value pt = obs::json::Value::object();
@@ -304,6 +355,7 @@ class Session {
   std::string bench_id_, title_;
   Flags flags_;
   std::vector<SeriesPoint> series_;
+  std::unique_ptr<par::Pool> pool_;
 };
 
 }  // namespace camo::bench

@@ -13,11 +13,17 @@
 # Every other bench reports deterministic simulated cycles; --seed pins the
 # one bench whose *sampling* (not timing) uses an RNG.
 #
-# Informational units ("insns/s" host throughput, wall-clock "ns"/"us"/"ms",
-# "*-host") are recorded in the baselines for reference but are NEVER gated:
-# camo-perfdiff prints them with the "info" status and excludes them from the
+# Informational units ("insns/s" host throughput, wall-clock "s"/"ns"/"us"/
+# "ms", "*-host") and "fleet."-prefixed scheduler-telemetry series are
+# recorded in the baselines for reference but are NEVER gated: camo-perfdiff
+# prints them with the "info" status and excludes them from the
 # regressed/missing/new counts, because they measure the host machine, not
 # the simulated guest.
+#
+# --jobs is pinned to 1: baselines must be byte-stable, and camo-perfdiff
+# refuses to compare documents recorded at different --jobs values. A
+# baseline accidentally recorded at --jobs 8 (e.g. via a stray CAMO_JOBS in
+# the environment) would make every later --jobs 1 gate run fail.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,6 +48,7 @@ benches=(
   bench_ablation_modifiers
   bench_census
   bench_instruction_mix
+  bench_fleet
 )
 
 mkdir -p "$out_dir"
@@ -52,7 +59,7 @@ for b in "${benches[@]}"; do
     exit 2
   fi
   echo "== $b"
-  "$bin" --smoke --seed "$seed" --json "$out_dir/$b.json" > /dev/null
+  "$bin" --smoke --seed "$seed" --jobs 1 --json "$out_dir/$b.json" > /dev/null
 done
 
 echo

@@ -6,14 +6,13 @@
 
 namespace camo::core {
 
-BootResult Bootloader::boot(obj::Program kernel, const BootConfig& cfg,
-                            hyp::Hypervisor& hv, cpu::Cpu& cpu,
-                            uint64_t kernel_base, uint64_t boot_sp) {
+PreparedKernel Bootloader::prepare(obj::Program kernel, const BootConfig& cfg,
+                                   uint64_t kernel_base) {
   if (!is_aligned(kernel_base, mem::VaLayout::kPageSize))
     fail("bootloader: kernel base must be page aligned");
 
-  BootResult result;
-  result.keys = KernelKeys::generate(cfg.seed);
+  PreparedKernel pk;
+  pk.keys = KernelKeys::generate(cfg.seed);
 
   // Key usage follows the build flavour: compat builds can only switch the
   // shared IB key (§5.5).
@@ -22,39 +21,53 @@ BootResult Bootloader::boot(obj::Program kernel, const BootConfig& cfg,
 
   // Splice the synthesized key setter in front so it occupies the (page
   // aligned) first page of .text.
-  kernel.add_function_front(make_key_setter(result.keys, usage));
+  kernel.add_function_front(make_key_setter(pk.keys, usage));
 
   compiler::instrument(kernel, cfg.protection);
-  result.kernel_image = obj::Linker::link(kernel, kernel_base);
-  result.key_setter_va = result.kernel_image.symbol(kKeySetterSymbol);
-  result.entry_va = result.kernel_image.symbol(cfg.entry_symbol);
+  pk.image = obj::Linker::link(kernel, kernel_base);
+  pk.key_setter_va = pk.image.symbol(kKeySetterSymbol);
+  pk.entry_va = pk.image.symbol(cfg.entry_symbol);
 
-  // §4.1 static verification of the full kernel image.
-  hv.verifier().allow_key_writes(result.key_setter_va,
-                                 mem::VaLayout::kPageSize);
+  // §4.1 static verification of the full kernel image, against the same
+  // allow-lists install() will arm the machine's hypervisor with.
+  pk.key_write_ranges.push_back({pk.key_setter_va, mem::VaLayout::kPageSize});
   for (const auto& sym : cfg.key_write_symbols) {
-    if (!result.kernel_image.has_symbol(sym)) continue;
-    hv.verifier().allow_key_writes(result.kernel_image.symbol(sym),
-                                   result.kernel_image.function_sizes.at(sym));
+    if (!pk.image.has_symbol(sym)) continue;
+    pk.key_write_ranges.push_back(
+        {pk.image.symbol(sym), pk.image.function_sizes.at(sym)});
   }
-  if (result.kernel_image.has_symbol(cfg.early_boot_symbol)) {
-    const uint64_t eb = result.kernel_image.symbol(cfg.early_boot_symbol);
-    const auto it =
-        result.kernel_image.function_sizes.find(cfg.early_boot_symbol);
-    const uint64_t len = it == result.kernel_image.function_sizes.end()
+  if (pk.image.has_symbol(cfg.early_boot_symbol)) {
+    const uint64_t eb = pk.image.symbol(cfg.early_boot_symbol);
+    const auto it = pk.image.function_sizes.find(cfg.early_boot_symbol);
+    const uint64_t len = it == pk.image.function_sizes.end()
                              ? mem::VaLayout::kPageSize
                              : it->second;
-    hv.verifier().allow_sctlr_writes(eb, len);
+    pk.sctlr_write_ranges.push_back({eb, len});
   }
-  result.kernel_verify = hv.verifier().verify_image(result.kernel_image);
-  if (cfg.verify_kernel && !result.kernel_verify.ok())
-    fail("bootloader: kernel verification failed: " +
-         result.kernel_verify.describe());
+  analysis::Verifier verifier;
+  for (const auto& r : pk.key_write_ranges)
+    verifier.allow_key_writes(r.va, r.len);
+  for (const auto& r : pk.sctlr_write_ranges)
+    verifier.allow_sctlr_writes(r.va, r.len);
+  pk.verify = verifier.verify_image(pk.image);
+  if (cfg.verify_kernel && !pk.verify.ok())
+    fail("bootloader: kernel verification failed: " + pk.verify.describe());
+  return pk;
+}
+
+BootResult Bootloader::install(const PreparedKernel& pk, hyp::Hypervisor& hv,
+                               cpu::Cpu& cpu, uint64_t boot_sp) {
+  // Replay the prepare-time allow-lists so module loads on this machine
+  // verify under identical rules.
+  for (const auto& r : pk.key_write_ranges)
+    hv.verifier().allow_key_writes(r.va, r.len);
+  for (const auto& r : pk.sctlr_write_ranges)
+    hv.verifier().allow_sctlr_writes(r.va, r.len);
 
   // Load and lock down memory; conceal the keys behind XOM.
-  hv.load_image(result.kernel_image, hv.kernel_map(), /*user=*/false);
-  hv.protect_xom(result.key_setter_va, mem::VaLayout::kPageSize);
-  hv.set_kernel_exports(result.kernel_image.symbols);
+  hv.load_image(pk.image, hv.kernel_map(), /*user=*/false);
+  hv.protect_xom(pk.key_setter_va, mem::VaLayout::kPageSize);
+  hv.set_kernel_exports(pk.image.symbols);
   hv.install(cpu);
 
   // Hand over to EL1: MMU state is hypervisor-owned, PAuth still disabled in
@@ -63,8 +76,22 @@ BootResult Bootloader::boot(obj::Program kernel, const BootConfig& cfg,
   cpu.pstate.irq_masked = true;
   cpu.set_sysreg(isa::SysReg::SCTLR_EL1, 0);
   cpu.set_sp_el(mem::El::El1, boot_sp);
-  cpu.pc = result.entry_va;
+  cpu.pc = pk.entry_va;
+
+  BootResult result;
+  result.keys = pk.keys;
+  result.kernel_image = pk.image;
+  result.key_setter_va = pk.key_setter_va;
+  result.entry_va = pk.entry_va;
+  result.kernel_verify = pk.verify;
   return result;
+}
+
+BootResult Bootloader::boot(obj::Program kernel, const BootConfig& cfg,
+                            hyp::Hypervisor& hv, cpu::Cpu& cpu,
+                            uint64_t kernel_base, uint64_t boot_sp) {
+  return install(prepare(std::move(kernel), cfg, kernel_base), hv, cpu,
+                 boot_sp);
 }
 
 }  // namespace camo::core

@@ -1,0 +1,55 @@
+#include "kernel/image_cache.h"
+
+#include "support/format.h"
+
+namespace camo::kernel {
+
+std::shared_ptr<const core::PreparedKernel> ImageCache::get(
+    const std::string& key,
+    const std::function<core::PreparedKernel()>& build) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  auto prepared = std::make_shared<const core::PreparedKernel>(build());
+  entries_.emplace(key, prepared);
+  return prepared;
+}
+
+std::string ImageCache::key_for(const KernelConfig& cfg, uint64_t seed,
+                                const std::vector<TaskSpec>& tasks) {
+  const compiler::ProtectionConfig& p = cfg.protection;
+  std::string key = strformat(
+      "bw=%u fwd=%u dfi=%u compat=%u blrab=%u zeromod=%u thr=%u log=%u "
+      "preempt=%u tf=%u bank=%u seed=%llx",
+      static_cast<unsigned>(p.backward), p.forward_cfi ? 1u : 0u,
+      p.dfi ? 1u : 0u, p.compat_mode ? 1u : 0u,
+      p.combined_branches ? 1u : 0u, p.apple_zero_modifier ? 1u : 0u,
+      cfg.pac_failure_threshold, cfg.log_pac_failures ? 1u : 0u,
+      cfg.preempt ? 1u : 0u, cfg.protect_trapframe ? 1u : 0u,
+      cfg.banked_keys ? 1u : 0u, static_cast<unsigned long long>(seed));
+  for (const TaskSpec& t : tasks) {
+    key += strformat(" t=%llx,%llx,%llx",
+                     static_cast<unsigned long long>(t.user_pc),
+                     static_cast<unsigned long long>(t.user_sp),
+                     static_cast<unsigned long long>(t.space_id));
+    for (const uint64_t k : t.user_keys)
+      key += strformat(",%llx", static_cast<unsigned long long>(k));
+  }
+  return key;
+}
+
+ImageCache::Stats ImageCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ImageCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace camo::kernel

@@ -60,6 +60,9 @@ class KernelBuilder {
 
   void add_task(const TaskSpec& spec) { tasks_.push_back(spec); }
   size_t task_count() const { return tasks_.size(); }
+  /// The task table (part of the kernel-image cache key: task specs are
+  /// baked into kernel data, so they shape the built image).
+  const std::vector<TaskSpec>& tasks() const { return tasks_; }
 
   /// Emit the complete kernel program (pre-instrumentation: the bootloader
   /// runs the passes).

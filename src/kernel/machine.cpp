@@ -63,8 +63,21 @@ void Machine::boot() {
   bcfg.protection = cfg_.kernel.protection;
   bcfg.entry_symbol = "early_boot";
   bcfg.key_write_symbols = KernelBuilder::key_write_symbols();
-  boot_ = std::make_unique<core::BootResult>(core::Bootloader::boot(
-      kb_.build(), bcfg, hv_, cpu_, kKernelBase, kBootStackTop));
+  if (cfg_.image_cache) {
+    // Fleet path: build + verify + sign the kernel once per configuration;
+    // every later machine with the same key installs the shared image.
+    const std::shared_ptr<const core::PreparedKernel> pk =
+        cfg_.image_cache->get(
+            ImageCache::key_for(cfg_.kernel, cfg_.seed, kb_.tasks()), [&] {
+              return core::Bootloader::prepare(kb_.build(), bcfg,
+                                               kKernelBase);
+            });
+    boot_ = std::make_unique<core::BootResult>(
+        core::Bootloader::install(*pk, hv_, cpu_, kBootStackTop));
+  } else {
+    boot_ = std::make_unique<core::BootResult>(core::Bootloader::boot(
+        kb_.build(), bcfg, hv_, cpu_, kKernelBase, kBootStackTop));
+  }
 
   // Attach before any guest instruction executes so the collector sees the
   // whole run (the bootloader only stages memory and registers; all guest
@@ -154,7 +167,14 @@ bool Machine::run(uint64_t max_steps) {
     const auto& pac = cpu_.pauth().pac_cache_stats();
     sync("fastpath.pac.hit", pac.hits);
     sync("fastpath.pac.miss", pac.misses);
+    // Both the aggregate name (single-machine consumers, this registry's
+    // own view) and the machine-id-namespaced name: fleet merges combine
+    // many machines' registries in one process, where a shared gauge name
+    // would collide last-writer-wins (the merge then recomputes the
+    // aggregate from summed instret/host-seconds).
     reg.gauge("host.throughput").set(host_throughput());
+    reg.gauge(strformat("host.throughput.m%u", cfg_.machine_id))
+        .set(host_throughput());
   }
   return cpu_.halted();
 }

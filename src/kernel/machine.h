@@ -15,6 +15,7 @@
 #include "cpu/cpu.h"
 #include "hyp/hypervisor.h"
 #include "kernel/abi.h"
+#include "kernel/image_cache.h"
 #include "kernel/kernel_builder.h"
 #include "mem/mmu.h"
 #include "obj/object.h"
@@ -29,6 +30,15 @@ struct MachineConfig {
   uint64_t seed = 0xC0FFEE;          ///< boot entropy (kernel + user keys)
   uint64_t phys_bytes = 64ull << 20;
   uint64_t preempt_timeslice = 20000;  ///< cycles, when kernel.preempt is set
+  /// Identity of this machine within a multi-machine process (fleet task
+  /// index). Namespaces the per-machine host gauges ("host.throughput.m<id>")
+  /// so merged fleet registries keep every machine's reading distinct.
+  unsigned machine_id = 0;
+  /// Optional shared prepared-kernel cache: when set, boot() reuses the
+  /// built + verified + signed kernel image of any earlier machine with an
+  /// identical configuration instead of preparing its own (DESIGN.md §3d).
+  /// Guest-visible state is identical either way.
+  std::shared_ptr<ImageCache> image_cache;
 };
 
 /// User stack placement (top of the mapped user stack region).

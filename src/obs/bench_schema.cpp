@@ -20,6 +20,9 @@ std::string validate_bench_json(const json::Value& doc) {
   if (!smoke || !smoke->is_bool()) return "missing bool field \"smoke\"";
   const auto* seed = doc.get("seed");
   if (seed && !seed->is_number()) return "\"seed\" is not a number";
+  const auto* jobs = doc.get("jobs");
+  if (jobs && (!jobs->is_number() || jobs->as_number() < 1))
+    return "\"jobs\" is not a number >= 1";
   const auto* series = doc.get("series");
   if (!series || !series->is_array()) return "missing \"series\" array";
   if (series->size() == 0) return "empty series";
@@ -54,6 +57,8 @@ std::optional<BenchDoc> parse_bench_doc(const json::Value& doc,
   out.smoke = doc.get("smoke")->as_bool();
   if (const auto* seed = doc.get("seed"))
     out.seed = static_cast<uint64_t>(seed->as_number());
+  if (const auto* jobs = doc.get("jobs"))
+    out.jobs = static_cast<unsigned>(jobs->as_number());
   const json::Value& series = *doc.get("series");
   out.series.reserve(series.size());
   for (size_t i = 0; i < series.size(); ++i) {

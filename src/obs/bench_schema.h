@@ -6,6 +6,11 @@
 //     "schema": "camo-bench/v1",
 //     "bench": "Figure 3", "title": "...", "smoke": true,
 //     "seed": 12648430,                    // optional, runs that use RNG
+//     "jobs": 8,                           // optional, absent means 1:
+//                                          // host threads the run sharded
+//                                          // across (--jobs); wall-clock
+//                                          // series are not comparable
+//                                          // across different jobs values
 //     "series": [ {"config": "full", "benchmark": "null syscall",
 //                  "value": 1234.5, "unit": "cycles/op",
 //                  "relative": 1.31},  ... ]
@@ -38,6 +43,7 @@ struct BenchDoc {
   std::string title;
   bool smoke = false;
   std::optional<uint64_t> seed;  ///< RNG seed the run used, when recorded
+  unsigned jobs = 1;             ///< host threads of the run (absent = 1)
   std::vector<BenchSeriesPoint> series;
 };
 

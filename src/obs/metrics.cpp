@@ -5,6 +5,13 @@
 
 namespace camo::obs {
 
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_)
+    counters_[name].inc(c.value());
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+  for (const auto& [name, g] : other.gauges_) gauges_[name].set(g.value());
+}
+
 std::string Registry::render_text() const {
   std::string out;
   for (const auto& [name, c] : counters_)

@@ -59,6 +59,19 @@ class Histogram {
     return i;
   }
 
+  /// Fold another histogram in (fleet merge): counts, sums and buckets add;
+  /// min/max combine. Merging is commutative, so the result is independent
+  /// of worker scheduling — fleets still merge in task-index order for the
+  /// gauges' sake.
+  void merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (unsigned i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
  private:
   uint64_t count_ = 0, sum_ = 0, min_ = 0, max_ = 0;
   uint64_t buckets_[kBuckets] = {};
@@ -105,6 +118,14 @@ class Registry {
     return histograms_;
   }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+
+  /// Fold another registry in: counters add, histograms merge, gauges are
+  /// overwritten last-writer-wins. Fleets merge per-machine registries in
+  /// task-index order, so for gauges "last" is a deterministic machine (the
+  /// highest-index one publishing that name), never a steal-schedule
+  /// artifact; per-machine gauge names ("host.throughput.m<id>") cannot
+  /// collide at all.
+  void merge_from(const Registry& other);
 
   /// Human-readable dump (one metric per line).
   std::string render_text() const;

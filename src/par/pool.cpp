@@ -1,0 +1,183 @@
+#include "par/pool.h"
+
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace camo::par {
+
+namespace {
+
+// The calling thread's identity inside a pool: workers set this on entry so
+// nested for_each_index() calls push to — and pop from — their own deque.
+// Threads foreign to the pool (the external submitter) use slot 0.
+thread_local const Pool* tl_pool = nullptr;
+thread_local unsigned tl_slot = 0;
+
+}  // namespace
+
+/// One batch of n tasks sharing a body. pending/error are guarded by the
+/// pool mutex; done_cv fires exactly once, when pending reaches zero.
+struct Pool::Batch {
+  const std::function<void(size_t)>* body = nullptr;
+  size_t pending = 0;
+  std::exception_ptr error;
+  std::condition_variable done_cv;
+};
+
+double Pool::Stats::imbalance() const {
+  uint64_t total = 0, max = 0;
+  for (const uint64_t e : executed) {
+    total += e;
+    if (e > max) max = e;
+  }
+  if (total == 0 || executed.empty()) return 0;
+  return static_cast<double>(max) * static_cast<double>(executed.size()) /
+         static_cast<double>(total);
+}
+
+unsigned Pool::env_jobs() {
+  const char* env = std::getenv("CAMO_JOBS");
+  if (!env || !*env) return 1;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return 1;
+  return v > kMaxJobs ? kMaxJobs : static_cast<unsigned>(v);
+}
+
+Pool::Pool(unsigned jobs) : jobs_(jobs == 0 ? env_jobs() : jobs) {
+  if (jobs_ > kMaxJobs) jobs_ = kMaxJobs;
+  deques_.resize(jobs_);
+  executed_.assign(jobs_, 0);
+  threads_.reserve(jobs_ > 0 ? jobs_ - 1 : 0);
+  for (unsigned slot = 1; slot < jobs_; ++slot)
+    threads_.emplace_back([this, slot] { worker_main(slot); });
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+unsigned Pool::self_slot() const { return tl_pool == this ? tl_slot : 0; }
+
+bool Pool::take_locked(unsigned self, Task& out) {
+  std::deque<Task>& own = deques_[self];
+  if (own.empty()) {
+    // Steal half (rounded up) of the fullest victim's deque, oldest tasks
+    // first, so a freshly submitted batch fans out in O(log n) steals.
+    unsigned victim = self;
+    size_t best = 0;
+    for (unsigned w = 0; w < jobs_; ++w) {
+      if (w != self && deques_[w].size() > best) {
+        best = deques_[w].size();
+        victim = w;
+      }
+    }
+    if (best == 0) return false;
+    const size_t grab = (best + 1) / 2;
+    std::deque<Task>& from = deques_[victim];
+    own.insert(own.end(), from.begin(),
+               from.begin() + static_cast<ptrdiff_t>(grab));
+    from.erase(from.begin(), from.begin() + static_cast<ptrdiff_t>(grab));
+    ++steals_;
+    stolen_tasks_ += grab;
+  }
+  out = own.back();
+  own.pop_back();
+  return true;
+}
+
+void Pool::run_task(std::unique_lock<std::mutex>& lock, unsigned self,
+                    const Task& t) {
+  lock.unlock();
+  std::exception_ptr err;
+  try {
+    (*t.batch->body)(t.index);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  lock.lock();
+  ++executed_[self];
+  if (err && !t.batch->error) t.batch->error = err;
+  if (--t.batch->pending == 0) t.batch->done_cv.notify_all();
+}
+
+void Pool::worker_main(unsigned self) {
+  tl_pool = this;
+  tl_slot = self;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task t;
+    if (take_locked(self, t)) {
+      run_task(lock, self, t);
+    } else if (stopping_) {
+      return;
+    } else {
+      work_cv_.wait(lock);
+    }
+  }
+}
+
+void Pool::for_each_index(size_t n,
+                          const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (jobs_ == 1 || n == 1) {
+    // Serial fast path: no threads, index order — byte-identical to the
+    // loop this API replaced (the --jobs 1 baseline contract). Exception
+    // semantics match the parallel path: every task runs, the first error
+    // is rethrown after the batch drains.
+    std::exception_ptr err;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      submitted_ += n;
+      executed_[self_slot()] += n;
+    }
+    if (err) std::rethrow_exception(err);
+    return;
+  }
+  Batch batch;
+  batch.body = &body;
+  batch.pending = n;
+  const unsigned self = self_slot();
+  std::unique_lock<std::mutex> lock(mu_);
+  submitted_ += n;
+  for (size_t i = 0; i < n; ++i) deques_[self].push_back({&batch, i});
+  work_cv_.notify_all();
+  // Help until this batch drains. Stealing may hand us tasks from an outer
+  // batch while ours are in flight elsewhere; they are independent, so
+  // running them here is useful work, not a hazard.
+  while (batch.pending > 0) {
+    Task t;
+    if (take_locked(self, t))
+      run_task(lock, self, t);
+    else
+      batch.done_cv.wait(lock);
+  }
+  const std::exception_ptr err = batch.error;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+Pool::Stats Pool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.submitted = submitted_;
+  s.steals = steals_;
+  s.stolen_tasks = stolen_tasks_;
+  s.executed = executed_;
+  return s;
+}
+
+}  // namespace camo::par

@@ -1,0 +1,129 @@
+// camo::par — work-stealing fleet executor (DESIGN.md §3d).
+//
+// Every sweep-shaped experiment in this repository (the §6.2 security
+// matrix, the §5.4 brute-force campaign, the modifier ablation, the census
+// scaling runs, multi-tenant fleets) runs dozens of fully independent
+// single-threaded kernel::Machine instances. Pool shards that fan-out
+// across host threads:
+//
+//  * one deque per worker; the submitting worker pushes to its own deque
+//    and pops LIFO from the back,
+//  * an idle worker steals *half* of the fullest victim's deque (taking
+//    the oldest tasks, FIFO end), which amortizes steal traffic and keeps
+//    large batches balanced without a global queue,
+//  * the thread calling for_each_index() participates as worker 0 and
+//    helps until its batch drains, so nested submission from inside a
+//    task cannot deadlock — the nested caller simply works its own batch,
+//  * jobs == 1 never touches a thread: the batch runs inline on the
+//    caller, in index order, byte-identical to the serial code it
+//    replaced (one lock acquisition updates the telemetry counters after
+//    the loop). This is what keeps `--jobs 1` bench output bit-for-bit
+//    stable against the checked-in baselines.
+//
+// Sizing: explicit constructor argument, else the CAMO_JOBS environment
+// variable, else 1. Parallel speedup is bounded by the serial fraction of
+// machine construction — pair the pool with kernel::ImageCache so the
+// kernel image is built/verified/signed once per configuration.
+//
+// Determinism: the pool itself makes no ordering promise about execution,
+// only completion. Callers that need bit-identical output regardless of
+// thread count (all of ours) must write results by task index and merge
+// any per-task state in index order — par::run_fleet (fleet.h) implements
+// that protocol.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace camo::par {
+
+class Pool {
+ public:
+  /// Scheduler telemetry (fleet.* observability series; informational —
+  /// steal counts depend on host scheduling and are never gated).
+  struct Stats {
+    uint64_t submitted = 0;  ///< tasks handed to for_each_index()
+    uint64_t steals = 0;     ///< steal operations that moved >= 1 task
+    uint64_t stolen_tasks = 0;
+    std::vector<uint64_t> executed;  ///< per-worker completed-task counts
+
+    /// Max-over-mean of per-worker executed counts: 1.0 is a perfectly
+    /// balanced fleet, jobs() is one worker doing everything.
+    double imbalance() const;
+  };
+
+  /// `jobs` threads participate in each batch (the caller plus jobs - 1
+  /// spawned workers). 0 means env_jobs().
+  explicit Pool(unsigned jobs = 0);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  unsigned jobs() const { return jobs_; }
+
+  /// CAMO_JOBS environment sizing: a positive integer, clamped to
+  /// [1, kMaxJobs]; absent or malformed values mean 1 (serial).
+  static unsigned env_jobs();
+  static constexpr unsigned kMaxJobs = 256;
+
+  /// Run body(i) for every i in [0, n). Blocks until all n complete. The
+  /// first exception thrown by any task is rethrown here after the batch
+  /// drains (remaining tasks still run; they are independent machines).
+  /// With jobs == 1 the loop runs inline, in index order.
+  void for_each_index(size_t n, const std::function<void(size_t)>& body);
+
+  /// Deterministic parallel map: out[i] = fn(i), results in index order
+  /// regardless of the steal schedule. R must be default-constructible.
+  template <class Fn>
+  auto map(size_t n, Fn&& fn) -> std::vector<decltype(fn(size_t{0}))> {
+    using R = decltype(fn(size_t{0}));
+    static_assert(!std::is_same<R, bool>::value,
+                  "std::vector<bool> packs bits: concurrent out[i] writes "
+                  "race — return int or char instead");
+    std::vector<R> out(n);
+    for_each_index(n, [&](size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Snapshot of the scheduler counters.
+  Stats stats() const;
+
+ private:
+  struct Batch;
+  struct Task {
+    Batch* batch;
+    size_t index;
+  };
+
+  /// One task if any is runnable: own deque (LIFO) first, else steal half
+  /// of the fullest victim (FIFO end). Caller holds mu_.
+  bool take_locked(unsigned self, Task& out);
+  void run_task(std::unique_lock<std::mutex>& lock, unsigned self,
+                const Task& t);
+  void worker_main(unsigned self);
+  /// The calling thread's worker slot: its own slot inside worker_main or
+  /// a nested batch, slot 0 for the external caller.
+  unsigned self_slot() const;
+
+  unsigned jobs_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: work arrived / shutdown
+  std::vector<std::deque<Task>> deques_;  ///< one per worker slot
+  std::vector<std::thread> threads_;      ///< jobs_ - 1 spawned workers
+  bool stopping_ = false;
+
+  // Telemetry, guarded by mu_.
+  uint64_t submitted_ = 0;
+  uint64_t steals_ = 0;
+  uint64_t stolen_tasks_ = 0;
+  std::vector<uint64_t> executed_;
+};
+
+}  // namespace camo::par

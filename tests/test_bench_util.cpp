@@ -4,6 +4,7 @@
 // rather than a silently dropped artifact path.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,46 @@ TEST(BenchFlags, MalformedSeedIsAnError) {
     const std::string err = Session::parse_flags(a.argc, a.argv(), f);
     EXPECT_NE(err, "") << "--seed " << bad;
     EXPECT_FALSE(f.seed.has_value());
+  }
+}
+
+TEST(BenchFlags, JobsFlagParsesClampsAndFallsBackToEnv) {
+  {
+    Argv a({"bench", "--jobs", "4"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_EQ(f.jobs, 4u);
+  }
+  {
+    Argv a({"bench", "--jobs=100000"});  // clamp to the pool's ceiling
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_EQ(f.jobs, par::Pool::kMaxJobs);
+  }
+  for (const char* bad : {"0", "-3", "many", "2x"}) {
+    Argv a({"bench", "--jobs", bad});
+    Flags f;
+    const std::string err = Session::parse_flags(a.argc, a.argv(), f);
+    EXPECT_NE(err, "") << bad;
+    EXPECT_NE(err.find("--jobs"), std::string::npos) << err;
+  }
+  {
+    // No flag: the CAMO_JOBS environment variable sizes the pool; an
+    // explicit --jobs always beats it.
+    setenv("CAMO_JOBS", "3", 1);
+    Argv a({"bench"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_EQ(f.jobs, 3u);
+    Argv b({"bench", "--jobs", "2"});
+    Flags g;
+    EXPECT_EQ(Session::parse_flags(b.argc, b.argv(), g), "");
+    EXPECT_EQ(g.jobs, 2u);
+    unsetenv("CAMO_JOBS");
+    Argv c({"bench"});
+    Flags h;
+    EXPECT_EQ(Session::parse_flags(c.argc, c.argv(), h), "");
+    EXPECT_EQ(h.jobs, 1u);
   }
 }
 

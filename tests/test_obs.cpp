@@ -250,6 +250,57 @@ TEST(Observability, FastPathCountersAndThroughputGaugePublished) {
   EXPECT_DOUBLE_EQ(g->value(), m.host_throughput());
 }
 
+TEST(Metrics, MergeFromAddsCountersMergesHistogramsOverwritesGauges) {
+  Registry a, b;
+  a.counter("c").inc(3);
+  b.counter("c").inc(4);
+  b.counter("only_b").inc(1);
+  a.histogram("h").record(2);
+  b.histogram("h").record(100);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(2.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.value("c"), 7u);
+  EXPECT_EQ(a.value("only_b"), 1u);
+  const Histogram* h = a.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->sum(), 102u);
+  EXPECT_EQ(h->min(), 2u);
+  EXPECT_EQ(h->max(), 100u);
+  EXPECT_DOUBLE_EQ(a.find_gauge("g")->value(), 2.0);  // last writer wins
+}
+
+// Regression: when several machines share a process (a fleet), each
+// machine's throughput must survive a registry merge under its namespaced
+// gauge — a single shared "host.throughput" name would collapse to the
+// last-merged machine's reading.
+TEST(Observability, ThroughputGaugeIsNamespacedPerMachine) {
+  Registry merged;
+  double expected[2] = {0, 0};
+  for (unsigned id = 0; id < 2; ++id) {
+    kernel::MachineConfig cfg = observed_config();
+    cfg.machine_id = id;
+    kernel::Machine m(cfg);
+    m.add_user_program(kernel::workloads::null_syscall(30 + 20 * id));
+    m.boot();
+    ASSERT_TRUE(m.run());
+    expected[id] = m.host_throughput();
+    merged.merge_from(m.stats()->metrics());
+  }
+  for (unsigned id = 0; id < 2; ++id) {
+    const Gauge* g =
+        merged.find_gauge("host.throughput.m" + std::to_string(id));
+    ASSERT_NE(g, nullptr) << "machine " << id;
+    EXPECT_DOUBLE_EQ(g->value(), expected[id]) << "machine " << id;
+  }
+  // The un-namespaced name still exists (single-machine consumers), but
+  // after a merge it is only the last writer — fleets recompute it.
+  ASSERT_NE(merged.find_gauge("host.throughput"), nullptr);
+  EXPECT_DOUBLE_EQ(merged.find_gauge("host.throughput")->value(),
+                   expected[1]);
+}
+
 TEST(Observability, FlatProfileAccountsForEveryCycle) {
   kernel::Machine m(observed_config());
   m.add_user_program(kernel::workloads::read_file(20, 64, kernel::FileKind::Null));

@@ -205,6 +205,59 @@ TEST(PerfDiff, InformationalSeriesExemptFromMissingAndNewGates) {
   EXPECT_EQ(lost.missing, 0);
 }
 
+TEST(PerfDiff, FleetSeriesAreInformationalRegardlessOfUnit) {
+  EXPECT_TRUE(series_is_informational("fleet.steals"));
+  EXPECT_TRUE(series_is_informational("fleet.imbalance"));
+  EXPECT_TRUE(series_is_informational("fleet.throughput"));
+  EXPECT_FALSE(series_is_informational("guest cycles"));
+  EXPECT_FALSE(series_is_informational("nonfleet.thing"));
+  // Wall-clock seconds are informational by unit, like ns/us/ms.
+  EXPECT_TRUE(unit_is_informational("s"));
+  EXPECT_TRUE(unit_is_informational("seconds"));
+
+  // A 10x steal-count swing (host scheduling) never gates, even though its
+  // unit ("steals") is otherwise exact-gated; the deterministic cycles
+  // series in the same doc still does.
+  const auto base = doc("Fleet", {pt("download", "guest cycles", 1000, "cycles"),
+                                  pt("fleet", "fleet.steals", 2, "steals"),
+                                  pt("fleet", "fleet.imbalance", 1.1, "ratio")});
+  const auto cur = doc("Fleet", {pt("download", "guest cycles", 1000, "cycles"),
+                                 pt("fleet", "fleet.steals", 20, "steals"),
+                                 pt("fleet", "fleet.imbalance", 3.9, "ratio")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_TRUE(rep.ok) << rep.markdown();
+  ASSERT_EQ(rep.deltas.size(), 3u);
+  EXPECT_EQ(rep.deltas[0].status, Status::Ok);
+  EXPECT_EQ(rep.deltas[1].status, Status::Info);
+  EXPECT_EQ(rep.deltas[2].status, Status::Info);
+
+  // ... but a drifted deterministic series still fails the gate.
+  const auto drift = doc("Fleet", {pt("download", "guest cycles", 1200, "cycles"),
+                                   pt("fleet", "fleet.steals", 2, "steals"),
+                                   pt("fleet", "fleet.imbalance", 1.1, "ratio")});
+  EXPECT_FALSE(diff({base}, {drift}, {}).ok);
+}
+
+TEST(PerfDiff, RefusesCrossJobsComparison) {
+  auto base = doc("Fleet", {pt("download", "guest cycles", 1000, "cycles")});
+  auto cur = base;
+  cur.jobs = 8;  // baseline implicitly jobs = 1
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_FALSE(rep.ok);
+  EXPECT_TRUE(rep.deltas.empty());
+  EXPECT_NE(rep.error.find("--jobs 1"), std::string::npos) << rep.error;
+  EXPECT_NE(rep.error.find("--jobs 8"), std::string::npos) << rep.error;
+  EXPECT_NE(rep.markdown().find("FAIL"), std::string::npos);
+
+  // Matching jobs values (even != 1) compare normally, and different bench
+  // ids never cross-check jobs.
+  base.jobs = 8;
+  EXPECT_TRUE(diff({base}, {cur}, {}).ok);
+  auto other = doc("Other", {pt("c", "b", 1, "cycles")});
+  other.jobs = 4;
+  EXPECT_TRUE(diff({base, other}, {cur, other}, {}).ok);
+}
+
 TEST(PerfDiff, MarkdownReportNamesTheOffender) {
   const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
   const auto cur = doc("Fig", {pt("full", "read", 1200, "cycles/op")});
@@ -239,6 +292,33 @@ TEST(BenchSchema, ParseRoundTripIncludingSeed) {
   ASSERT_EQ(doc->series.size(), 1u);
   EXPECT_EQ(doc->series[0].unit, "cycles/op");
   ASSERT_TRUE(doc->series[0].relative.has_value());
+  EXPECT_EQ(doc->jobs, 1u);  // absent means serial
+}
+
+TEST(BenchSchema, JobsFieldParsesAndValidates) {
+  const char* text = R"({
+    "schema": "camo-bench/v1", "bench": "Fleet", "title": "t", "smoke": true,
+    "jobs": 8,
+    "series": [{"config": "fleet", "benchmark": "fleet.steals", "value": 3,
+                "unit": "steals"}]
+  })";
+  const auto json = obs::json::Value::parse(text);
+  ASSERT_TRUE(json.has_value());
+  std::string err;
+  const auto doc = obs::parse_bench_doc(*json, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->jobs, 8u);
+
+  for (const char* bad : {R"("eight")", "0", "-2"}) {
+    const std::string t = std::string(R"({
+      "schema": "camo-bench/v1", "bench": "b", "title": "t", "smoke": false,
+      "jobs": )") + bad + R"(,
+      "series": [{"config": "c", "benchmark": "m", "value": 1, "unit": "u"}]
+    })";
+    const auto j = obs::json::Value::parse(t);
+    ASSERT_TRUE(j.has_value()) << t;
+    EXPECT_FALSE(obs::validate_bench_json(*j).empty()) << t;
+  }
 }
 
 TEST(BenchSchema, RejectsWrongSchemaAndMalformedSeries) {

@@ -32,12 +32,19 @@ bool unit_is_cost(const std::string& unit) {
 bool unit_is_informational(const std::string& unit) {
   // Host-throughput series and anything explicitly host-suffixed. Wall-clock
   // units are cost-shaped but host-dependent, so they are informational too.
-  if (unit == "insns/s" || unit == "ns" || unit == "us" || unit == "ms")
+  if (unit == "insns/s" || unit == "s" || unit == "seconds" || unit == "ns" ||
+      unit == "us" || unit == "ms")
     return true;
   static const std::string kSuffix = "-host";
   return unit.size() >= kSuffix.size() &&
          unit.compare(unit.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
              0;
+}
+
+bool series_is_informational(const std::string& benchmark) {
+  // par::run_fleet scheduler telemetry: steal counts, imbalance and
+  // aggregate throughput depend on host scheduling, never on the simulation.
+  return benchmark.rfind("fleet.", 0) == 0;
 }
 
 namespace {
@@ -66,6 +73,25 @@ void flatten(const std::vector<obs::BenchDoc>& docs,
 
 Report diff(const std::vector<obs::BenchDoc>& baseline,
             const std::vector<obs::BenchDoc>& current, const Options& opts) {
+  // Refuse cross-jobs comparisons outright: wall-clock series recorded at
+  // different --jobs values measure different things, and a silent compare
+  // would launder that into pass/fail noise.
+  {
+    std::map<std::string, unsigned> base_jobs;
+    for (const obs::BenchDoc& doc : baseline) base_jobs[doc.bench] = doc.jobs;
+    for (const obs::BenchDoc& doc : current) {
+      const auto it = base_jobs.find(doc.bench);
+      if (it != base_jobs.end() && it->second != doc.jobs) {
+        Report rep;
+        rep.error = strformat(
+            "bench \"%s\": baseline recorded with --jobs %u, current with "
+            "--jobs %u — not comparable; re-record one side",
+            doc.bench.c_str(), it->second, doc.jobs);
+        rep.ok = false;
+        return rep;
+      }
+    }
+  }
   std::map<Key, double> base_vals, cur_vals;
   std::vector<Key> base_order, cur_order;
   flatten(baseline, base_vals, base_order);
@@ -76,7 +102,8 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
     Delta d;
     std::tie(d.bench, d.config, d.benchmark, d.unit) = k;
     d.baseline = base_vals.at(k);
-    const bool info = unit_is_informational(d.unit);
+    const bool info =
+        unit_is_informational(d.unit) || series_is_informational(d.benchmark);
     const auto it = cur_vals.find(k);
     if (it == cur_vals.end()) {
       d.current = 0;
@@ -117,7 +144,8 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
     Delta d;
     std::tie(d.bench, d.config, d.benchmark, d.unit) = k;
     d.current = cur_vals.at(k);
-    if (unit_is_informational(d.unit)) {
+    if (unit_is_informational(d.unit) ||
+        series_is_informational(d.benchmark)) {
       d.status = Status::Info;  // new informational series never gate
     } else {
       d.status = Status::New;
@@ -132,6 +160,7 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
 }
 
 std::string Report::markdown() const {
+  if (!error.empty()) return "FAIL: " + error + "\n";
   std::string out =
       "| series | unit | baseline | current | delta | status |\n"
       "|---|---|---:|---:|---:|---|\n";

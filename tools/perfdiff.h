@@ -19,10 +19,18 @@
 // the behaviour changed, which is what the gate exists to catch.
 //
 // Informational units are the exception to both rules: host-dependent
-// measurements (wall-clock "ns"/"us"/"ms", "insns/s" host throughput, and
-// any "*-host" suffixed unit) vary run to run and machine to machine, so
-// they are printed in the delta table with the "info" status but never
+// measurements (wall-clock "s"/"ns"/"us"/"ms", "insns/s" host throughput,
+// and any "*-host" suffixed unit) vary run to run and machine to machine,
+// so they are printed in the delta table with the "info" status but never
 // counted toward the gate — not as regressions, not as missing, not as new.
+// "fleet."-prefixed benchmark names (steal counts, imbalance, aggregate
+// throughput — par::run_fleet scheduler telemetry) are informational
+// regardless of unit, for the same reason.
+//
+// Runs record their --jobs value in the document header (absent = 1).
+// Documents for the same bench with different jobs values are refused
+// outright: simulated series would still match, but wall-clock series mean
+// different things, and a gate that silently compared them would hide that.
 #pragma once
 
 #include <cstdint>
@@ -54,8 +62,12 @@ const char* status_name(Status s);
 /// True for units where smaller is faster ("cycles", "cycles/op", "ns"...).
 bool unit_is_cost(const std::string& unit);
 /// True for host-dependent units that are report-only ("insns/s", wall-clock
-/// "ns"/"us"/"ms", "*-host"). Takes precedence over unit_is_cost in diff().
+/// "s"/"ns"/"us"/"ms", "*-host"). Takes precedence over unit_is_cost in
+/// diff().
 bool unit_is_informational(const std::string& unit);
+/// True for benchmark names that are report-only regardless of unit:
+/// "fleet."-prefixed scheduler telemetry (steals, imbalance, throughput).
+bool series_is_informational(const std::string& benchmark);
 
 struct Delta {
   std::string bench, config, benchmark, unit;
@@ -72,8 +84,12 @@ struct Report {
   int missing = 0;
   int added = 0;
   bool ok = false;  ///< gate verdict under the Options used for the diff
+  /// Non-empty when the two sides are not comparable at all (e.g. the same
+  /// bench was recorded with different --jobs values); ok is then false and
+  /// deltas is empty.
+  std::string error;
 
-  /// Markdown delta table plus a one-line verdict.
+  /// Markdown delta table plus a one-line verdict (or the refusal message).
   std::string markdown() const;
 };
 
