@@ -119,47 +119,17 @@ int main(int argc, char** argv) {
               std::exp(geo_back / n), std::exp(geo_full / n));
 
   // Host-throughput comparison (informational, never gated): the same read
-  // workload with the fetch/translate fast path off and on. Simulated cycles
-  // must be bit-for-bit identical — the fast path is host-side only.
-  {
-    // Longer run than the latency rows (noise amortisation) and best-of-3
-    // per setting: host throughput is wall-clock-derived, so min-of-N time
-    // (max throughput) strips scheduler noise exactly like perfdiff does.
-    const auto measure = [](bool fast_path) {
-      bench::RunCycles best;
-      for (int rep = 0; rep < 3; ++rep) {
-        std::vector<obj::Program> v;
-        v.push_back(wl::read_file(kIters * 8, 64, FileKind::Null));
-        auto r = bench::run_workload(compiler::ProtectionConfig::full(),
-                                     std::move(v), 400'000'000,
-                                     /*collect=*/false,
-                                     kernel::MachineConfig{}.seed, fast_path);
-        if (rep == 0 || r.throughput() > best.throughput()) best = r;
-      }
-      return best;
-    };
-    const auto off = measure(false);
-    const auto on = measure(true);
-    if (off.total != on.total || off.workload != on.workload ||
-        off.halt_code != on.halt_code || off.instret != on.instret) {
-      std::fprintf(stderr,
-                   "fast path changed simulated behaviour: "
-                   "cycles %llu vs %llu, workload %llu vs %llu\n",
-                   static_cast<unsigned long long>(off.total),
-                   static_cast<unsigned long long>(on.total),
-                   static_cast<unsigned long long>(off.workload),
-                   static_cast<unsigned long long>(on.workload));
-      return 1;
-    }
-    std::printf(
-        "\nhost throughput (read workload, full protection, informational):\n"
-        "  fast path off: %10.0f guest insns/host-s\n"
-        "  fast path on:  %10.0f guest insns/host-s (%.2fx)\n",
-        off.throughput(), on.throughput(),
-        off.throughput() > 0 ? on.throughput() / off.throughput() : 0);
-    s.add("fastpath-off", "read /dev/null 64B", off.throughput(), "insns/s");
-    s.add("fastpath-on", "read /dev/null 64B", on.throughput(), "insns/s");
-  }
+  // workload, longer than the latency rows (noise amortisation), under all
+  // three host engine modes — no host caches, the fetch/translate fast path
+  // alone, and the superblock engine on top. Simulated cycles must be
+  // bit-for-bit identical across all three — every mode is host-side only.
+  if (!bench::emit_throughput_series(
+          s, "read /dev/null 64B", compiler::ProtectionConfig::full(), [] {
+            std::vector<obj::Program> v;
+            v.push_back(wl::read_file(kIters * 8, 64, FileKind::Null));
+            return v;
+          }))
+    return 1;
 
   // --trace <path> / --folded <path>: rerun one workload with the obs
   // collector attached and dump the Chrome trace_event JSON

@@ -88,32 +88,16 @@ int main(int argc, char** argv) {
   s.add("backward", "geometric mean", gb, "ratio");
   s.add("full", "geometric mean", gf, "ratio");
 
-  // Host throughput with the fetch/translate fast path on vs off
-  // (informational; JPEG resize is the compute-bound extreme).
-  {
-    std::vector<obj::Program> p_off, p_on;
-    p_off.push_back(make_resize());
-    p_on.push_back(make_resize());
-    const auto off = bench::run_workload(compiler::ProtectionConfig::full(),
-                                         std::move(p_off), 400'000'000, false,
-                                         kernel::MachineConfig{}.seed,
-                                         /*fast_path=*/false);
-    const auto on = bench::run_workload(compiler::ProtectionConfig::full(),
-                                        std::move(p_on), 400'000'000, false,
-                                        kernel::MachineConfig{}.seed,
-                                        /*fast_path=*/true);
-    if (off.total != on.total) {
-      std::fprintf(stderr, "fast path changed simulated cycles\n");
-      return 1;
-    }
-    std::printf("host throughput (JPEG resize, informational): "
-                "off %.0f, on %.0f guest insns/host-s (%.2fx)\n",
-                off.throughput(), on.throughput(),
-                off.throughput() > 0 ? on.throughput() / off.throughput() : 0);
-    s.add("fastpath-off", "1) JPEG resize (user compute)", off.throughput(),
-          "insns/s");
-    s.add("fastpath-on", "1) JPEG resize (user compute)", on.throughput(),
-          "insns/s");
-  }
+  // Host throughput under the three host engine modes (informational; JPEG
+  // resize is the compute-bound extreme, where the superblock engine's
+  // straight-line blocks are longest).
+  if (!bench::emit_throughput_series(
+          s, "1) JPEG resize (user compute)",
+          compiler::ProtectionConfig::full(), [] {
+            std::vector<obj::Program> v;
+            v.push_back(make_resize());
+            return v;
+          }))
+    return 1;
   return s.finish();
 }

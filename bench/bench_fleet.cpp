@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
         m.run(400'000'000);
         TenantRun r;
         r.cycles = m.cpu().cycles();
-        r.instret = m.cpu().instret();
+        r.instret = m.cpu().retired();
         r.halted = m.halted();
         return r;
       });

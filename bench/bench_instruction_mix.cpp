@@ -44,7 +44,7 @@ Mix measure(std::vector<obj::Program> progs_full,
   m.boot();
   m.run();
 
-  const uint64_t total = m.cpu().instret();
+  const uint64_t total = m.cpu().retired();
   const uint64_t pauth =
       m.cpu().count_ops_if([](isa::Op op) { return isa::is_pauth(op); });
   const uint64_t calls = m.cpu().op_count(isa::Op::BL) +
@@ -122,5 +122,15 @@ int main(int argc, char** argv) {
       "\nreading: rows with more calls per 1k instructions carry more PAuth "
       "instrumentation and show proportionally larger overhead — the "
       "paper's explanation for the Figure 3 / Figure 4 gap, measured.\n");
+
+  // Host throughput under the three host engine modes (informational), on
+  // the call-densest row — the same series fig3/fig4 emit.
+  if (!bench::emit_throughput_series(
+          s, "null-syscall storm", compiler::ProtectionConfig::full(), [] {
+            std::vector<obj::Program> v;
+            v.push_back(wl::null_syscall(8000 / g_scale));
+            return v;
+          }))
+    return 1;
   return s.finish();
 }

@@ -10,8 +10,8 @@
 // Every bench binary drives a bench::Session, which
 //   * prints the figure header,
 //   * parses the shared flags (--json <path>, --smoke, --trace <path>,
-//     --folded <path>, --seed <u64>, --jobs <n>) and compacts them out of
-//     argv so
+//     --folded <path>, --seed <u64>, --jobs <n>, --sb on|off) and compacts
+//     them out of argv so
 //     binaries with their own flag parsing (bench_qarma) still work; a
 //     value-taking flag with a missing or malformed value is a hard error
 //     (exit 2), never silently dropped,
@@ -66,11 +66,11 @@ struct RunCycles {
   uint64_t total = 0;       ///< boot to halt
   uint64_t workload = 0;    ///< first EL0 entry to halt
   uint64_t halt_code = 0;
-  uint64_t instret = 0;      ///< guest instructions retired
+  uint64_t retired = 0;      ///< guest instructions retired
   double host_seconds = 0;   ///< host wall clock inside the CPU loop
   /// Guest instructions per host second (informational; host-dependent).
   double throughput() const {
-    return host_seconds > 0 ? static_cast<double>(instret) / host_seconds : 0;
+    return host_seconds > 0 ? static_cast<double>(retired) / host_seconds : 0;
   }
   // Populated only when run with `collect = true`:
   std::string trace_json;    ///< Chrome trace_event JSON of the run
@@ -87,19 +87,30 @@ struct RunCycles {
 /// call-graph profile. `seed` is the machine's boot entropy (kernel + user
 /// PAuth keys); it never affects the cycle counts, only the key material.
 /// `fast_path` toggles the host-side predecode/micro-TLB caches (DESIGN.md
-/// §3c); simulated cycles are identical either way, only host_seconds moves.
+/// §3c) and `superblocks` the block-translation engine (§3e); simulated
+/// cycles are identical any way round, only host_seconds moves. A bench's
+/// explicit `superblocks` choice is further ANDed with the session-wide
+/// --sb flag (superblocks_allowed()), the escape hatch the sanitizer CI
+/// uses to exercise both engines.
+inline bool& superblocks_allowed() {
+  static bool allowed = true;
+  return allowed;
+}
+
 inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
                               std::vector<obj::Program> programs,
                               uint64_t max_steps = 400'000'000,
                               bool collect = false,
                               uint64_t seed = kernel::MachineConfig{}.seed,
-                              bool fast_path = true) {
+                              bool fast_path = true,
+                              bool superblocks = true) {
   kernel::MachineConfig cfg;
   cfg.kernel.protection = prot;
   cfg.kernel.log_pac_failures = false;
   cfg.obs.enabled = collect;
   cfg.seed = seed;
   cfg.cpu.fast_path = fast_path;
+  cfg.cpu.superblocks = superblocks && superblocks_allowed();
   kernel::Machine m(cfg);
   for (auto& p : programs) m.add_user_program(std::move(p));
   m.boot();
@@ -112,7 +123,7 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
   r.total = m.cpu().cycles();
   r.workload = start == 0 ? r.total : r.total - start;
   r.halt_code = m.halted() ? m.halt_code() : ~uint64_t{0};
-  r.instret = m.cpu().instret();
+  r.retired = m.cpu().retired();
   r.host_seconds = m.host_seconds();
   if (obs::Collector* st = m.stats()) {
     r.trace_json = st->chrome_trace_json();
@@ -127,12 +138,44 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
 /// One measurement in the emitted series.
 using SeriesPoint = obs::BenchSeriesPoint;
 
+/// The three host-engine configurations of the informational throughput
+/// series: every host cache off, the §3c fetch/translate fast path alone,
+/// and the §3e superblock engine stacked on top of it.
+struct EngineMode {
+  const char* name;
+  bool fast_path;
+  bool superblocks;
+};
+
+inline std::vector<EngineMode> engine_modes() {
+  return {{"fastpath-off", false, false},
+          {"sb-off", true, false},
+          {"sb-on", true, true}};
+}
+
 /// Validate a parsed BENCH JSON document against the camo-bench/v1 schema.
 /// Returns an empty string when valid, else a description of the problem.
 /// (Forwarder kept for existing callers; the schema lives in camo::obs.)
 inline std::string validate_bench_json(const obs::json::Value& doc) {
   return obs::validate_bench_json(doc);
 }
+
+class Session;
+
+/// Measure and emit the informational host-throughput series for one
+/// workload: best-of-3 under each engine mode (min-of-N wall time == max
+/// throughput, stripping host scheduler noise the way perfdiff does),
+/// parity-checked — simulated cycles, retired count and halt code must be
+/// bit-for-bit identical across modes, because every mode is host-side
+/// only. Prints the block and adds one (mode, benchmark) "insns/s" point
+/// per mode. Returns false after printing the mismatch when parity fails;
+/// callers exit non-zero. Declared here, defined after Session.
+template <class MakePrograms>
+bool emit_throughput_series(Session& s, const std::string& benchmark,
+                            const compiler::ProtectionConfig& prot,
+                            MakePrograms&& make,
+                            uint64_t max_steps = 400'000'000,
+                            uint64_t seed = kernel::MachineConfig{}.seed);
 
 /// Per-binary bench driver; see the header comment.
 class Session {
@@ -145,6 +188,10 @@ class Session {
     std::string folded_path;
     std::optional<uint64_t> seed;
     bool smoke = false;
+    /// --sb on|off: session-wide gate for the superblock engine, ANDed with
+    /// each bench's per-run choice (see run_workload). "off" is the
+    /// sanitizer-CI escape hatch; "on" is the default and forces nothing.
+    bool sb = true;
     /// Host threads for fleet()-sharded sweeps: --jobs N, else the
     /// CAMO_JOBS environment variable, else 1. Never affects simulated
     /// results — only wall-clock (DESIGN.md §3d). Recorded in the emitted
@@ -209,6 +256,19 @@ class Session {
         continue;
       }
       if (matched) break;
+      std::string sb_text;
+      if (take_value("--sb", sb_text, matched)) {
+        if (sb_text == "on") {
+          out.sb = true;
+        } else if (sb_text == "off") {
+          out.sb = false;
+        } else {
+          error = "--sb wants on|off, got \"" + sb_text + "\"";
+          break;
+        }
+        continue;
+      }
+      if (matched) break;
       std::string jobs_text;
       if (take_value("--jobs", jobs_text, matched)) {
         char* end = nullptr;
@@ -243,6 +303,7 @@ class Session {
       std::fprintf(stderr, "error: %s\n", err.c_str());
       std::exit(2);
     }
+    superblocks_allowed() = flags_.sb;
     std::printf(
         "\n================================================================\n");
     std::printf("%s — %s%s\n", bench_id_.c_str(), title_.c_str(),
@@ -357,5 +418,49 @@ class Session {
   std::vector<SeriesPoint> series_;
   std::unique_ptr<par::Pool> pool_;
 };
+
+template <class MakePrograms>
+bool emit_throughput_series(Session& s, const std::string& benchmark,
+                            const compiler::ProtectionConfig& prot,
+                            MakePrograms&& make, uint64_t max_steps,
+                            uint64_t seed) {
+  const std::vector<EngineMode> modes = engine_modes();
+  std::vector<RunCycles> results;
+  for (const EngineMode& mode : modes) {
+    RunCycles best;
+    for (int rep = 0; rep < 3; ++rep) {
+      RunCycles r = run_workload(prot, make(), max_steps, /*collect=*/false,
+                                 seed, mode.fast_path, mode.superblocks);
+      if (rep == 0 || r.throughput() > best.throughput()) best = r;
+    }
+    results.push_back(best);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    const RunCycles& a = results[0];
+    const RunCycles& b = results[i];
+    if (a.total != b.total || a.workload != b.workload ||
+        a.halt_code != b.halt_code || a.retired != b.retired) {
+      std::fprintf(stderr,
+                   "%s changed simulated behaviour on %s: "
+                   "cycles %llu vs %llu, retired %llu vs %llu\n",
+                   modes[i].name, benchmark.c_str(),
+                   static_cast<unsigned long long>(a.total),
+                   static_cast<unsigned long long>(b.total),
+                   static_cast<unsigned long long>(a.retired),
+                   static_cast<unsigned long long>(b.retired));
+      return false;
+    }
+  }
+  std::printf("\nhost throughput (%s, informational):\n", benchmark.c_str());
+  for (size_t i = 0; i < modes.size(); ++i) {
+    std::printf("  %-13s %12.0f guest insns/host-s (%.2fx)\n", modes[i].name,
+                results[i].throughput(),
+                results[0].throughput() > 0
+                    ? results[i].throughput() / results[0].throughput()
+                    : 0);
+    s.add(modes[i].name, benchmark, results[i].throughput(), "insns/s");
+  }
+  return true;
+}
 
 }  // namespace camo::bench

@@ -24,6 +24,13 @@
 # refuses to compare documents recorded at different --jobs values. A
 # baseline accidentally recorded at --jobs 8 (e.g. via a stray CAMO_JOBS in
 # the environment) would make every later --jobs 1 gate run fail.
+#
+# Superblocks (DESIGN.md §3e) stay at their default (on): the engine is
+# cycle-exact, so the gated series are identical either way — a gate run
+# passing with the engine on is itself the parity check. The benches'
+# informational throughput series cover fastpath-off / sb-off / sb-on
+# regardless. Only pass --sb off here if you are deliberately baselining
+# with the engine disabled, and say so in the commit.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -49,7 +49,7 @@ int main() {
               "%llu instructions, %llu cycles\n",
               static_cast<unsigned long long>(m.halt_code()),
               kernel::kHaltDone,
-              static_cast<unsigned long long>(m.cpu().instret()),
+              static_cast<unsigned long long>(m.cpu().retired()),
               static_cast<unsigned long long>(m.cpu().cycles()));
 
   // 5. Inspect protection artifacts in guest memory.

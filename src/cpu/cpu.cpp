@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "cpu/superblock.h"
 #include "support/bits.h"
 #include "support/error.h"
 
@@ -29,10 +30,17 @@ const char* exc_class_name(ExcClass c) {
 }
 
 Cpu::Cpu(mem::Mmu& mmu, Config cfg)
-    : mmu_(&mmu), cfg_(cfg), pauth_(cfg.layout) {
+    : mmu_(&mmu),
+      cfg_(cfg),
+      pauth_(cfg.layout),
+      sb_(std::make_unique<SuperblockEngine>()) {
   mmu_->set_fast_path(cfg_.fast_path);
   pauth_.set_fast_path(cfg_.fast_path);
 }
+
+Cpu::~Cpu() = default;
+
+const SuperblockStats& Cpu::superblock_stats() const { return sb_->stats(); }
 
 obs::OpClass Cpu::op_class(Op op) {
   switch (op) {
@@ -573,9 +581,27 @@ const Inst& Cpu::fetch_decoded_slow(uint64_t pa) {
 }
 
 uint64_t Cpu::run(uint64_t max_steps) {
+  const uint64_t retired0 = instret_;
+  if (!cfg_.superblocks) {
+    uint64_t n = 0;
+    while (n < max_steps && step()) ++n;
+    return instret_ - retired0;
+  }
+  // Superblock mode (DESIGN.md §3e): the engine consumes the budget in
+  // whole-block bites and hands back anything only the single-step path can
+  // do exactly — interrupt delivery, breakpoint hooks, faulting or unaligned
+  // fetches. One step() after every engine return also guarantees forward
+  // progress when the engine reports 0. Budget units are identical to the
+  // single-step loop's for any max_steps, so run(a); run(b) splits land on
+  // the same instruction boundaries with the engine on or off.
   uint64_t n = 0;
-  while (n < max_steps && step()) ++n;
-  return n;
+  while (n < max_steps) {
+    n += sb_->execute(*this, max_steps - n);
+    if (n >= max_steps || halted_) break;
+    if (!step()) break;
+    ++n;
+  }
+  return instret_ - retired0;
 }
 
 // ---------------------------------------------------------------------------
@@ -617,449 +643,532 @@ void Cpu::write_gpr_or_sp(unsigned i, uint64_t v) {
     gpr_[i] = v;
 }
 
-void Cpu::execute(const Inst& inst) {
-  const uint64_t iaddr = pc - 4;
+// ---------------------------------------------------------------------------
+// Execute: one static handler per opcode, dispatched through a constexpr
+// table. Cpu::execute (the single-step path) and the superblock engine both
+// dispatch through the same table, so there is exactly one implementation of
+// every instruction and parity between the two paths is structural.
+// ---------------------------------------------------------------------------
 
-  auto set_add_flags = [&](uint64_t a, uint64_t b, uint64_t res) {
-    pstate.n = res >> 63;
-    pstate.z = res == 0;
-    pstate.c = res < a;  // carry out of unsigned add
-    pstate.v = (~(a ^ b) & (a ^ res)) >> 63;
-  };
-  auto set_sub_flags = [&](uint64_t a, uint64_t b, uint64_t res) {
-    pstate.n = res >> 63;
-    pstate.z = res == 0;
-    pstate.c = a >= b;  // no borrow
-    pstate.v = ((a ^ b) & (a ^ res)) >> 63;
-  };
-  auto undefined = [&] {
-    take_exception(ExcClass::Undefined, 0,
-                   static_cast<uint16_t>(inst.op), FaultKind::None, iaddr);
-  };
-  auto require_el1 = [&]() -> bool {
-    if (pstate.el == El::El0) {
-      undefined();
+struct ExecHandlers {
+  static void set_add_flags(Cpu& c, uint64_t a, uint64_t b, uint64_t res) {
+    c.pstate.n = res >> 63;
+    c.pstate.z = res == 0;
+    c.pstate.c = res < a;  // carry out of unsigned add
+    c.pstate.v = (~(a ^ b) & (a ^ res)) >> 63;
+  }
+  static void set_sub_flags(Cpu& c, uint64_t a, uint64_t b, uint64_t res) {
+    c.pstate.n = res >> 63;
+    c.pstate.z = res == 0;
+    c.pstate.c = a >= b;  // no borrow
+    c.pstate.v = ((a ^ b) & (a ^ res)) >> 63;
+  }
+  static void undefined(Cpu& c, const Inst& inst) {
+    c.take_exception(ExcClass::Undefined, 0, static_cast<uint16_t>(inst.op),
+                     FaultKind::None, c.pc - 4);
+  }
+  static bool require_el1(Cpu& c, const Inst& inst) {
+    if (c.pstate.el == El::El0) {
+      undefined(c, inst);
       return false;
     }
     return true;
-  };
+  }
 
-  switch (inst.op) {
-    case Op::Invalid:
-      undefined();
-      break;
+  static void invalid(Cpu& c, const Inst& inst) { undefined(c, inst); }
 
-    // ---- moves ----
-    case Op::MOVZ:
-      set_x(inst.rd, static_cast<uint64_t>(inst.imm) << (16 * inst.hw));
-      break;
-    case Op::MOVK:
-      set_x(inst.rd, insert_bits(x(inst.rd), 16u * inst.hw, 16,
+  // ---- moves ----
+  static void movz(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, static_cast<uint64_t>(inst.imm) << (16 * inst.hw));
+  }
+  static void movk(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, insert_bits(c.x(inst.rd), 16u * inst.hw, 16,
                                  static_cast<uint64_t>(inst.imm)));
-      break;
-    case Op::MOVN:
-      set_x(inst.rd, ~(static_cast<uint64_t>(inst.imm) << (16 * inst.hw)));
-      break;
+  }
+  static void movn(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, ~(static_cast<uint64_t>(inst.imm) << (16 * inst.hw)));
+  }
 
-    // ---- register data processing ----
-    case Op::ADD:
-      set_x(inst.rd, x(inst.rn) + x(inst.rm));
-      break;
-    case Op::SUB:
-      set_x(inst.rd, x(inst.rn) - x(inst.rm));
-      break;
-    case Op::ADDS: {
-      const uint64_t a = x(inst.rn), b = x(inst.rm), r = a + b;
-      set_add_flags(a, b, r);
-      set_x(inst.rd, r);
-      break;
-    }
-    case Op::SUBS: {
-      const uint64_t a = x(inst.rn), b = x(inst.rm), r = a - b;
-      set_sub_flags(a, b, r);
-      set_x(inst.rd, r);
-      break;
-    }
-    case Op::AND:
-      set_x(inst.rd, x(inst.rn) & x(inst.rm));
-      break;
-    case Op::ORR:
-      set_x(inst.rd, x(inst.rn) | x(inst.rm));
-      break;
-    case Op::EOR:
-      set_x(inst.rd, x(inst.rn) ^ x(inst.rm));
-      break;
-    case Op::MUL:
-      set_x(inst.rd, x(inst.rn) * x(inst.rm));
-      break;
-    case Op::UDIV: {
-      const uint64_t d = x(inst.rm);
-      set_x(inst.rd, d == 0 ? 0 : x(inst.rn) / d);
-      break;
-    }
-    case Op::LSLV:
-      set_x(inst.rd, x(inst.rn) << (x(inst.rm) & 63));
-      break;
-    case Op::LSRV:
-      set_x(inst.rd, x(inst.rn) >> (x(inst.rm) & 63));
-      break;
+  // ---- register data processing ----
+  static void add(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) + c.x(inst.rm));
+  }
+  static void sub(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) - c.x(inst.rm));
+  }
+  static void adds(Cpu& c, const Inst& inst) {
+    const uint64_t a = c.x(inst.rn), b = c.x(inst.rm), r = a + b;
+    set_add_flags(c, a, b, r);
+    c.set_x(inst.rd, r);
+  }
+  static void subs(Cpu& c, const Inst& inst) {
+    const uint64_t a = c.x(inst.rn), b = c.x(inst.rm), r = a - b;
+    set_sub_flags(c, a, b, r);
+    c.set_x(inst.rd, r);
+  }
+  static void and_(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) & c.x(inst.rm));
+  }
+  static void orr(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) | c.x(inst.rm));
+  }
+  static void eor(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) ^ c.x(inst.rm));
+  }
+  static void mul(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) * c.x(inst.rm));
+  }
+  static void udiv(Cpu& c, const Inst& inst) {
+    const uint64_t d = c.x(inst.rm);
+    c.set_x(inst.rd, d == 0 ? 0 : c.x(inst.rn) / d);
+  }
+  static void lslv(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) << (c.x(inst.rm) & 63));
+  }
+  static void lsrv(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) >> (c.x(inst.rm) & 63));
+  }
 
-    // ---- immediate data processing (rd/rn may be SP for ADD/SUB) ----
-    case Op::ADDI:
-      write_gpr_or_sp(inst.rd,
-                      read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm));
-      break;
-    case Op::SUBI:
-      write_gpr_or_sp(inst.rd,
-                      read_gpr_or_sp(inst.rn) - static_cast<uint64_t>(inst.imm));
-      break;
-    case Op::ADDSI: {
-      const uint64_t a = read_gpr_or_sp(inst.rn);
-      const uint64_t b = static_cast<uint64_t>(inst.imm);
-      const uint64_t r = a + b;
-      set_add_flags(a, b, r);
-      set_x(inst.rd, r);
-      break;
-    }
-    case Op::SUBSI: {
-      const uint64_t a = read_gpr_or_sp(inst.rn);
-      const uint64_t b = static_cast<uint64_t>(inst.imm);
-      const uint64_t r = a - b;
-      set_sub_flags(a, b, r);
-      set_x(inst.rd, r);
-      break;
-    }
-    case Op::ANDI:
-      set_x(inst.rd, x(inst.rn) & static_cast<uint64_t>(inst.imm));
-      break;
-    case Op::ORRI:
-      set_x(inst.rd, x(inst.rn) | static_cast<uint64_t>(inst.imm));
-      break;
-    case Op::EORI:
-      set_x(inst.rd, x(inst.rn) ^ static_cast<uint64_t>(inst.imm));
-      break;
+  // ---- immediate data processing (rd/rn may be SP for ADD/SUB) ----
+  static void addi(Cpu& c, const Inst& inst) {
+    c.write_gpr_or_sp(
+        inst.rd, c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm));
+  }
+  static void subi(Cpu& c, const Inst& inst) {
+    c.write_gpr_or_sp(
+        inst.rd, c.read_gpr_or_sp(inst.rn) - static_cast<uint64_t>(inst.imm));
+  }
+  static void addsi(Cpu& c, const Inst& inst) {
+    const uint64_t a = c.read_gpr_or_sp(inst.rn);
+    const uint64_t b = static_cast<uint64_t>(inst.imm);
+    const uint64_t r = a + b;
+    set_add_flags(c, a, b, r);
+    c.set_x(inst.rd, r);
+  }
+  static void subsi(Cpu& c, const Inst& inst) {
+    const uint64_t a = c.read_gpr_or_sp(inst.rn);
+    const uint64_t b = static_cast<uint64_t>(inst.imm);
+    const uint64_t r = a - b;
+    set_sub_flags(c, a, b, r);
+    c.set_x(inst.rd, r);
+  }
+  static void andi(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) & static_cast<uint64_t>(inst.imm));
+  }
+  static void orri(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) | static_cast<uint64_t>(inst.imm));
+  }
+  static void eori(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) ^ static_cast<uint64_t>(inst.imm));
+  }
 
-    // ---- shifts / bitfields ----
-    case Op::LSLI:
-      set_x(inst.rd, x(inst.rn) << inst.imm);
-      break;
-    case Op::LSRI:
-      set_x(inst.rd, x(inst.rn) >> inst.imm);
-      break;
-    case Op::ASRI:
-      set_x(inst.rd,
-            static_cast<uint64_t>(static_cast<int64_t>(x(inst.rn)) >> inst.imm));
-      break;
-    case Op::BFI:
-      set_x(inst.rd, insert_bits(x(inst.rd), inst.lsb, inst.width, x(inst.rn)));
-      break;
-    case Op::UBFX:
-      set_x(inst.rd, bits(x(inst.rn), inst.lsb, inst.width));
-      break;
+  // ---- shifts / bitfields ----
+  static void lsli(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) << inst.imm);
+  }
+  static void lsri(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, c.x(inst.rn) >> inst.imm);
+  }
+  static void asri(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, static_cast<uint64_t>(
+                         static_cast<int64_t>(c.x(inst.rn)) >> inst.imm));
+  }
+  static void bfi(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd,
+            insert_bits(c.x(inst.rd), inst.lsb, inst.width, c.x(inst.rn)));
+  }
+  static void ubfx(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, bits(c.x(inst.rn), inst.lsb, inst.width));
+  }
 
-    case Op::ADR:
-      set_x(inst.rd, iaddr + static_cast<uint64_t>(inst.imm));
-      break;
+  static void adr(Cpu& c, const Inst& inst) {
+    c.set_x(inst.rd, (c.pc - 4) + static_cast<uint64_t>(inst.imm));
+  }
 
-    // ---- loads / stores ----
-    case Op::LDR: {
-      uint64_t v;
-      if (mem_read64(read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm), v))
-        set_x(inst.rd, v);
-      break;
+  // ---- loads / stores ----
+  static void ldr(Cpu& c, const Inst& inst) {
+    uint64_t v;
+    if (c.mem_read64(c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm),
+                     v))
+      c.set_x(inst.rd, v);
+  }
+  static void str(Cpu& c, const Inst& inst) {
+    c.mem_write64(c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm),
+                  c.x(inst.rd));
+  }
+  static void ldrb(Cpu& c, const Inst& inst) {
+    uint64_t v;
+    if (c.mem_read8(c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm),
+                    v))
+      c.set_x(inst.rd, v);
+  }
+  static void strb(Cpu& c, const Inst& inst) {
+    c.mem_write8(c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm),
+                 static_cast<uint8_t>(c.x(inst.rd)));
+  }
+  static void ldp(Cpu& c, const Inst& inst) {
+    const uint64_t base =
+        c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
+    uint64_t a, b;
+    if (c.mem_read64(base, a) && c.mem_read64(base + 8, b)) {
+      c.set_x(inst.rd, a);
+      c.set_x(inst.rm, b);
     }
-    case Op::STR:
-      mem_write64(read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm),
-                  x(inst.rd));
-      break;
-    case Op::LDRB: {
-      uint64_t v;
-      if (mem_read8(read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm), v))
-        set_x(inst.rd, v);
-      break;
+  }
+  static void stp(Cpu& c, const Inst& inst) {
+    const uint64_t base =
+        c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
+    if (c.mem_write64(base, c.x(inst.rd))) c.mem_write64(base + 8, c.x(inst.rm));
+  }
+  static void stp_pre(Cpu& c, const Inst& inst) {
+    const uint64_t base =
+        c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
+    if (c.mem_write64(base, c.x(inst.rd)) &&
+        c.mem_write64(base + 8, c.x(inst.rm)))
+      c.write_gpr_or_sp(inst.rn, base);
+  }
+  static void ldp_post(Cpu& c, const Inst& inst) {
+    const uint64_t base = c.read_gpr_or_sp(inst.rn);
+    uint64_t a, b;
+    if (c.mem_read64(base, a) && c.mem_read64(base + 8, b)) {
+      c.set_x(inst.rd, a);
+      c.set_x(inst.rm, b);
+      c.write_gpr_or_sp(inst.rn, base + static_cast<uint64_t>(inst.imm));
     }
-    case Op::STRB:
-      mem_write8(read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm),
-                 static_cast<uint8_t>(x(inst.rd)));
-      break;
+  }
 
-    case Op::LDP: {
-      const uint64_t base =
-          read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
-      uint64_t a, b;
-      if (mem_read64(base, a) && mem_read64(base + 8, b)) {
-        set_x(inst.rd, a);
-        set_x(inst.rm, b);
-      }
-      break;
-    }
-    case Op::STP: {
-      const uint64_t base =
-          read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
-      if (mem_write64(base, x(inst.rd))) mem_write64(base + 8, x(inst.rm));
-      break;
-    }
-    case Op::STP_PRE: {
-      const uint64_t base =
-          read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
-      if (mem_write64(base, x(inst.rd)) && mem_write64(base + 8, x(inst.rm)))
-        write_gpr_or_sp(inst.rn, base);
-      break;
-    }
-    case Op::LDP_POST: {
-      const uint64_t base = read_gpr_or_sp(inst.rn);
-      uint64_t a, b;
-      if (mem_read64(base, a) && mem_read64(base + 8, b)) {
-        set_x(inst.rd, a);
-        set_x(inst.rm, b);
-        write_gpr_or_sp(inst.rn, base + static_cast<uint64_t>(inst.imm));
-      }
-      break;
-    }
+  // ---- branches ----
+  static void b(Cpu& c, const Inst& inst) {
+    c.pc = (c.pc - 4) + static_cast<uint64_t>(inst.imm);
+  }
+  static void bl(Cpu& c, const Inst& inst) {
+    const uint64_t iaddr = c.pc - 4;
+    c.set_x(isa::kRegLr, iaddr + 4);
+    c.pc = iaddr + static_cast<uint64_t>(inst.imm);
+    if (c.cf_) c.cf_->control_flow(obs::CfKind::Call, iaddr, c.pc, 0);
+  }
+  static void bcond(Cpu& c, const Inst& inst) {
+    if (cond_holds(inst.cond, c.pstate))
+      c.pc = (c.pc - 4) + static_cast<uint64_t>(inst.imm);
+  }
+  static void cbz(Cpu& c, const Inst& inst) {
+    if (c.x(inst.rd) == 0) c.pc = (c.pc - 4) + static_cast<uint64_t>(inst.imm);
+  }
+  static void cbnz(Cpu& c, const Inst& inst) {
+    if (c.x(inst.rd) != 0) c.pc = (c.pc - 4) + static_cast<uint64_t>(inst.imm);
+  }
+  static void br(Cpu& c, const Inst& inst) { c.pc = c.x(inst.rn); }
+  static void blr(Cpu& c, const Inst& inst) {
+    const uint64_t iaddr = c.pc - 4;
+    c.set_x(isa::kRegLr, iaddr + 4);
+    c.pc = c.x(inst.rn);
+    if (c.cf_) c.cf_->control_flow(obs::CfKind::Call, iaddr, c.pc, 0);
+  }
+  static void ret(Cpu& c, const Inst& inst) {
+    // The assembler always encodes the target register explicitly (LR for
+    // a plain `ret`).
+    const uint64_t iaddr = c.pc - 4;
+    c.pc = c.x(inst.rn);
+    if (c.cf_) c.cf_->control_flow(obs::CfKind::Ret, iaddr, c.pc, 0);
+  }
 
-    // ---- branches ----
-    case Op::B:
-      pc = iaddr + static_cast<uint64_t>(inst.imm);
-      break;
-    case Op::BL:
-      set_x(isa::kRegLr, iaddr + 4);
-      pc = iaddr + static_cast<uint64_t>(inst.imm);
-      if (cf_) cf_->control_flow(obs::CfKind::Call, iaddr, pc, 0);
-      break;
-    case Op::BCOND:
-      if (cond_holds(inst.cond, pstate))
-        pc = iaddr + static_cast<uint64_t>(inst.imm);
-      break;
-    case Op::CBZ:
-      if (x(inst.rd) == 0) pc = iaddr + static_cast<uint64_t>(inst.imm);
-      break;
-    case Op::CBNZ:
-      if (x(inst.rd) != 0) pc = iaddr + static_cast<uint64_t>(inst.imm);
-      break;
-    case Op::BR:
-      pc = x(inst.rn);
-      break;
-    case Op::BLR:
-      set_x(isa::kRegLr, iaddr + 4);
-      pc = x(inst.rn);
-      if (cf_) cf_->control_flow(obs::CfKind::Call, iaddr, pc, 0);
-      break;
-    case Op::RET:
-      // The assembler always encodes the target register explicitly (LR for
-      // a plain `ret`).
-      pc = x(inst.rn);
-      if (cf_) cf_->control_flow(obs::CfKind::Ret, iaddr, pc, 0);
-      break;
+  // ---- PAuth combined branches ----
+  static void pac_branch(Cpu& c, const Inst& inst) {
+    if (!c.cfg_.has_pauth) {
+      undefined(c, inst);
+      return;
+    }
+    const uint64_t iaddr = c.pc - 4;
+    const bool b_key = inst.op == Op::BRAB || inst.op == Op::BLRAB;
+    const bool link = inst.op == Op::BLRAA || inst.op == Op::BLRAB;
+    const uint64_t modifier = c.read_gpr_or_sp(inst.rm);
+    bool faulted;
+    const uint64_t target =
+        c.do_aut(c.x(inst.rn), modifier, b_key ? PacKey::IB : PacKey::IA,
+                 inst.op, faulted);
+    if (faulted) return;
+    if (link) c.set_x(isa::kRegLr, iaddr + 4);
+    c.pc = target;
+    if (link && c.cf_) c.cf_->control_flow(obs::CfKind::Call, iaddr, c.pc, 0);
+  }
+  static void retax(Cpu& c, const Inst& inst) {
+    if (!c.cfg_.has_pauth) {
+      undefined(c, inst);
+      return;
+    }
+    const uint64_t iaddr = c.pc - 4;
+    bool faulted;
+    const uint64_t target =
+        c.do_aut(c.x(isa::kRegLr), c.sp(),
+                 inst.op == Op::RETAB ? PacKey::IB : PacKey::IA, inst.op,
+                 faulted);
+    if (!faulted) {
+      c.pc = target;
+      if (c.cf_) c.cf_->control_flow(obs::CfKind::Ret, iaddr, c.pc, 0);
+    }
+  }
 
-    // ---- PAuth combined branches ----
+  // ---- system ----
+  static void mrs(Cpu& c, const Inst& inst) {
+    // CNTVCT is readable from EL0 (Linux exposes the counter); everything
+    // else requires EL1.
+    if (c.pstate.el == El::El0 && inst.sysreg != SysReg::CNTVCT_EL0) {
+      undefined(c, inst);
+      return;
+    }
+    c.set_x(inst.rd, c.sysreg(inst.sysreg));
+  }
+  static void msr(Cpu& c, const Inst& inst) {
+    if (!require_el1(c, inst)) return;
+    if (inst.sysreg == SysReg::CurrentEL || inst.sysreg == SysReg::CNTVCT_EL0) {
+      undefined(c, inst);
+      return;
+    }
+    const uint64_t v = c.x(inst.rd);
+    if (c.msr_filter_ && !c.msr_filter_(c, inst.sysreg, v)) {
+      undefined(c, inst);  // hypervisor-locked register (threat model §3.1)
+      return;
+    }
+    c.set_sysreg(inst.sysreg, v);
+    if (c.sink_ && isa::is_pauth_key_reg(inst.sysreg)) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::KeyWrite;
+      e.cycles = c.cycles_;
+      e.pc = c.pc - 4;
+      e.el = static_cast<uint8_t>(c.pstate.el);
+      // Key registers are laid out Lo/Hi pairs in PacKey order.
+      e.k1 = static_cast<uint8_t>(static_cast<unsigned>(inst.sysreg) / 2);
+      e.imm = static_cast<uint16_t>(inst.sysreg);
+      c.sink_->emit(e);
+    }
+  }
+  static void svc(Cpu& c, const Inst& inst) {
+    c.take_exception(ExcClass::Svc, 0, static_cast<uint16_t>(inst.imm),
+                     FaultKind::None, c.pc);
+  }
+  static void hvc(Cpu& c, const Inst& inst) {
+    if (!require_el1(c, inst)) return;
+    if (c.hvc_)
+      c.hvc_(c, static_cast<uint16_t>(inst.imm));
+    else
+      undefined(c, inst);
+  }
+  static void brk(Cpu& c, const Inst& inst) {
+    c.take_exception(ExcClass::Brk, 0, static_cast<uint16_t>(inst.imm),
+                     FaultKind::None, c.pc - 4);
+  }
+  static void hlt(Cpu& c, const Inst& inst) {
+    if (!require_el1(c, inst)) return;
+    c.halted_ = true;
+    c.halt_code_ = static_cast<uint64_t>(inst.imm);
+  }
+  static void eret(Cpu& c, const Inst& inst) {
+    if (!require_el1(c, inst)) return;
+    c.do_eret();
+  }
+  static void daifset(Cpu& c, const Inst& inst) {
+    if (!require_el1(c, inst)) return;
+    c.pstate.irq_masked = true;
+  }
+  static void daifclr(Cpu& c, const Inst& inst) {
+    if (!require_el1(c, inst)) return;
+    c.pstate.irq_masked = false;
+  }
+  static void nop(Cpu&, const Inst&) {}  // also ISB
+
+  // ---- PAuth sign / authenticate ----
+  static void pac_sign(Cpu& c, const Inst& inst) {
+    if (!c.cfg_.has_pauth) {
+      undefined(c, inst);
+      return;
+    }
+    static constexpr PacKey keys[] = {PacKey::IA, PacKey::IB, PacKey::DA,
+                                      PacKey::DB};
+    const PacKey k =
+        keys[static_cast<int>(inst.op) - static_cast<int>(Op::PACIA)];
+    c.set_x(inst.rd, c.do_pac(c.x(inst.rd), c.read_gpr_or_sp(inst.rn), k));
+  }
+  static void pac_auth(Cpu& c, const Inst& inst) {
+    if (!c.cfg_.has_pauth) {
+      undefined(c, inst);
+      return;
+    }
+    static constexpr PacKey keys[] = {PacKey::IA, PacKey::IB, PacKey::DA,
+                                      PacKey::DB};
+    const PacKey k =
+        keys[static_cast<int>(inst.op) - static_cast<int>(Op::AUTIA)];
+    bool faulted;
+    const uint64_t v =
+        c.do_aut(c.x(inst.rd), c.read_gpr_or_sp(inst.rn), k, inst.op, faulted);
+    if (!faulted) c.set_x(inst.rd, v);
+  }
+  static void pacga(Cpu& c, const Inst& inst) {
+    if (!c.cfg_.has_pauth) {
+      undefined(c, inst);
+      return;
+    }
+    c.set_x(inst.rd,
+            c.pauth_.pacga(c.x(inst.rn), c.x(inst.rm), c.pac_key(PacKey::GA)));
+  }
+  static void xpac(Cpu& c, const Inst& inst) {
+    if (!c.cfg_.has_pauth) {
+      undefined(c, inst);
+      return;
+    }
+    c.set_x(inst.rd, c.pauth_.strip(c.x(inst.rd)));
+  }
+
+  // ---- HINT-space PAuth: NOP on pre-8.3 cores (§5.5) ----
+  static void paciasp(Cpu& c, const Inst&) {
+    if (c.cfg_.has_pauth)
+      c.set_x(isa::kRegLr, c.do_pac(c.x(isa::kRegLr), c.sp(), PacKey::IA));
+  }
+  static void pacibsp(Cpu& c, const Inst&) {
+    if (c.cfg_.has_pauth)
+      c.set_x(isa::kRegLr, c.do_pac(c.x(isa::kRegLr), c.sp(), PacKey::IB));
+  }
+  static void autxsp(Cpu& c, const Inst& inst) {
+    if (!c.cfg_.has_pauth) return;
+    bool faulted;
+    const uint64_t v =
+        c.do_aut(c.x(isa::kRegLr), c.sp(),
+                 inst.op == Op::AUTIBSP ? PacKey::IB : PacKey::IA, inst.op,
+                 faulted);
+    if (!faulted) c.set_x(isa::kRegLr, v);
+  }
+  static void pacx1716(Cpu& c, const Inst& inst) {
+    if (c.cfg_.has_pauth)
+      c.set_x(isa::kRegIp1,
+              c.do_pac(c.x(isa::kRegIp1), c.x(isa::kRegIp0),
+                       inst.op == Op::PACIB1716 ? PacKey::IB : PacKey::IA));
+  }
+  static void autx1716(Cpu& c, const Inst& inst) {
+    if (!c.cfg_.has_pauth) return;
+    bool faulted;
+    const uint64_t v =
+        c.do_aut(c.x(isa::kRegIp1), c.x(isa::kRegIp0),
+                 inst.op == Op::AUTIB1716 ? PacKey::IB : PacKey::IA, inst.op,
+                 faulted);
+    if (!faulted) c.set_x(isa::kRegIp1, v);
+  }
+  static void xpaclri(Cpu& c, const Inst&) {
+    if (c.cfg_.has_pauth) c.set_x(isa::kRegLr, c.pauth_.strip(c.x(isa::kRegLr)));
+  }
+};
+
+namespace {
+
+constexpr Cpu::ExecFn pick_handler(Op op) {
+  switch (op) {
+    case Op::Invalid: return &ExecHandlers::invalid;
+    case Op::MOVZ: return &ExecHandlers::movz;
+    case Op::MOVK: return &ExecHandlers::movk;
+    case Op::MOVN: return &ExecHandlers::movn;
+    case Op::ADD: return &ExecHandlers::add;
+    case Op::SUB: return &ExecHandlers::sub;
+    case Op::ADDS: return &ExecHandlers::adds;
+    case Op::SUBS: return &ExecHandlers::subs;
+    case Op::AND: return &ExecHandlers::and_;
+    case Op::ORR: return &ExecHandlers::orr;
+    case Op::EOR: return &ExecHandlers::eor;
+    case Op::MUL: return &ExecHandlers::mul;
+    case Op::UDIV: return &ExecHandlers::udiv;
+    case Op::LSLV: return &ExecHandlers::lslv;
+    case Op::LSRV: return &ExecHandlers::lsrv;
+    case Op::ADDI: return &ExecHandlers::addi;
+    case Op::SUBI: return &ExecHandlers::subi;
+    case Op::ADDSI: return &ExecHandlers::addsi;
+    case Op::SUBSI: return &ExecHandlers::subsi;
+    case Op::ANDI: return &ExecHandlers::andi;
+    case Op::ORRI: return &ExecHandlers::orri;
+    case Op::EORI: return &ExecHandlers::eori;
+    case Op::LSLI: return &ExecHandlers::lsli;
+    case Op::LSRI: return &ExecHandlers::lsri;
+    case Op::ASRI: return &ExecHandlers::asri;
+    case Op::BFI: return &ExecHandlers::bfi;
+    case Op::UBFX: return &ExecHandlers::ubfx;
+    case Op::ADR: return &ExecHandlers::adr;
+    case Op::LDR: return &ExecHandlers::ldr;
+    case Op::STR: return &ExecHandlers::str;
+    case Op::LDRB: return &ExecHandlers::ldrb;
+    case Op::STRB: return &ExecHandlers::strb;
+    case Op::LDP: return &ExecHandlers::ldp;
+    case Op::STP: return &ExecHandlers::stp;
+    case Op::LDP_POST: return &ExecHandlers::ldp_post;
+    case Op::STP_PRE: return &ExecHandlers::stp_pre;
+    case Op::B: return &ExecHandlers::b;
+    case Op::BL: return &ExecHandlers::bl;
+    case Op::BCOND: return &ExecHandlers::bcond;
+    case Op::CBZ: return &ExecHandlers::cbz;
+    case Op::CBNZ: return &ExecHandlers::cbnz;
+    case Op::BR: return &ExecHandlers::br;
+    case Op::BLR: return &ExecHandlers::blr;
+    case Op::RET: return &ExecHandlers::ret;
     case Op::BRAA:
     case Op::BRAB:
     case Op::BLRAA:
-    case Op::BLRAB: {
-      if (!cfg_.has_pauth) {
-        undefined();
-        break;
-      }
-      const bool b_key = inst.op == Op::BRAB || inst.op == Op::BLRAB;
-      const bool link = inst.op == Op::BLRAA || inst.op == Op::BLRAB;
-      const uint64_t modifier = read_gpr_or_sp(inst.rm);
-      bool faulted;
-      const uint64_t target = do_aut(x(inst.rn), modifier,
-                                     b_key ? PacKey::IB : PacKey::IA, inst.op,
-                                     faulted);
-      if (faulted) break;
-      if (link) set_x(isa::kRegLr, iaddr + 4);
-      pc = target;
-      if (link && cf_) cf_->control_flow(obs::CfKind::Call, iaddr, pc, 0);
-      break;
-    }
+    case Op::BLRAB: return &ExecHandlers::pac_branch;
     case Op::RETAA:
-    case Op::RETAB: {
-      if (!cfg_.has_pauth) {
-        undefined();
-        break;
-      }
-      bool faulted;
-      const uint64_t target =
-          do_aut(x(isa::kRegLr), sp(),
-                 inst.op == Op::RETAB ? PacKey::IB : PacKey::IA, inst.op,
-                 faulted);
-      if (!faulted) {
-        pc = target;
-        if (cf_) cf_->control_flow(obs::CfKind::Ret, iaddr, pc, 0);
-      }
-      break;
-    }
-
-    // ---- system ----
-    case Op::MRS: {
-      // CNTVCT is readable from EL0 (Linux exposes the counter); everything
-      // else requires EL1.
-      if (pstate.el == El::El0 && inst.sysreg != SysReg::CNTVCT_EL0) {
-        undefined();
-        break;
-      }
-      set_x(inst.rd, sysreg(inst.sysreg));
-      break;
-    }
-    case Op::MSR: {
-      if (!require_el1()) break;
-      if (inst.sysreg == SysReg::CurrentEL ||
-          inst.sysreg == SysReg::CNTVCT_EL0) {
-        undefined();
-        break;
-      }
-      const uint64_t v = x(inst.rd);
-      if (msr_filter_ && !msr_filter_(*this, inst.sysreg, v)) {
-        undefined();  // hypervisor-locked register (threat model §3.1)
-        break;
-      }
-      set_sysreg(inst.sysreg, v);
-      if (sink_ && isa::is_pauth_key_reg(inst.sysreg)) {
-        obs::TraceEvent e;
-        e.kind = obs::EventKind::KeyWrite;
-        e.cycles = cycles_;
-        e.pc = iaddr;
-        e.el = static_cast<uint8_t>(pstate.el);
-        // Key registers are laid out Lo/Hi pairs in PacKey order.
-        e.k1 = static_cast<uint8_t>(static_cast<unsigned>(inst.sysreg) / 2);
-        e.imm = static_cast<uint16_t>(inst.sysreg);
-        sink_->emit(e);
-      }
-      break;
-    }
-    case Op::SVC:
-      take_exception(ExcClass::Svc, 0, static_cast<uint16_t>(inst.imm),
-                     FaultKind::None, iaddr + 4);
-      break;
-    case Op::HVC:
-      if (!require_el1()) break;
-      if (hvc_)
-        hvc_(*this, static_cast<uint16_t>(inst.imm));
-      else
-        undefined();
-      break;
-    case Op::BRK:
-      take_exception(ExcClass::Brk, 0, static_cast<uint16_t>(inst.imm),
-                     FaultKind::None, iaddr);
-      break;
-    case Op::HLT:
-      if (!require_el1()) break;
-      halted_ = true;
-      halt_code_ = static_cast<uint64_t>(inst.imm);
-      break;
-    case Op::ERET:
-      if (!require_el1()) break;
-      do_eret();
-      break;
-    case Op::DAIFSET:
-      if (!require_el1()) break;
-      pstate.irq_masked = true;
-      break;
-    case Op::DAIFCLR:
-      if (!require_el1()) break;
-      pstate.irq_masked = false;
-      break;
+    case Op::RETAB: return &ExecHandlers::retax;
+    case Op::MRS: return &ExecHandlers::mrs;
+    case Op::MSR: return &ExecHandlers::msr;
+    case Op::SVC: return &ExecHandlers::svc;
+    case Op::HVC: return &ExecHandlers::hvc;
+    case Op::BRK: return &ExecHandlers::brk;
+    case Op::HLT: return &ExecHandlers::hlt;
+    case Op::ERET: return &ExecHandlers::eret;
+    case Op::DAIFSET: return &ExecHandlers::daifset;
+    case Op::DAIFCLR: return &ExecHandlers::daifclr;
     case Op::ISB:
-    case Op::NOP:
-      break;
-
-    // ---- PAuth sign / authenticate ----
+    case Op::NOP: return &ExecHandlers::nop;
     case Op::PACIA:
     case Op::PACIB:
     case Op::PACDA:
-    case Op::PACDB: {
-      if (!cfg_.has_pauth) {
-        undefined();
-        break;
-      }
-      static constexpr PacKey keys[] = {PacKey::IA, PacKey::IB, PacKey::DA,
-                                        PacKey::DB};
-      const PacKey k =
-          keys[static_cast<int>(inst.op) - static_cast<int>(Op::PACIA)];
-      set_x(inst.rd, do_pac(x(inst.rd), read_gpr_or_sp(inst.rn), k));
-      break;
-    }
+    case Op::PACDB: return &ExecHandlers::pac_sign;
     case Op::AUTIA:
     case Op::AUTIB:
     case Op::AUTDA:
-    case Op::AUTDB: {
-      if (!cfg_.has_pauth) {
-        undefined();
-        break;
-      }
-      static constexpr PacKey keys[] = {PacKey::IA, PacKey::IB, PacKey::DA,
-                                        PacKey::DB};
-      const PacKey k =
-          keys[static_cast<int>(inst.op) - static_cast<int>(Op::AUTIA)];
-      bool faulted;
-      const uint64_t v =
-          do_aut(x(inst.rd), read_gpr_or_sp(inst.rn), k, inst.op, faulted);
-      if (!faulted) set_x(inst.rd, v);
-      break;
-    }
-    case Op::PACGA:
-      if (!cfg_.has_pauth) {
-        undefined();
-        break;
-      }
-      set_x(inst.rd, pauth_.pacga(x(inst.rn), x(inst.rm), pac_key(PacKey::GA)));
-      break;
+    case Op::AUTDB: return &ExecHandlers::pac_auth;
+    case Op::PACGA: return &ExecHandlers::pacga;
     case Op::XPACI:
-    case Op::XPACD:
-      if (!cfg_.has_pauth) {
-        undefined();
-        break;
-      }
-      set_x(inst.rd, pauth_.strip(x(inst.rd)));
-      break;
-
-    // ---- HINT-space PAuth: NOP on pre-8.3 cores (§5.5) ----
-    case Op::PACIASP:
-      if (cfg_.has_pauth)
-        set_x(isa::kRegLr, do_pac(x(isa::kRegLr), sp(), PacKey::IA));
-      break;
-    case Op::PACIBSP:
-      if (cfg_.has_pauth)
-        set_x(isa::kRegLr, do_pac(x(isa::kRegLr), sp(), PacKey::IB));
-      break;
+    case Op::XPACD: return &ExecHandlers::xpac;
+    case Op::PACIASP: return &ExecHandlers::paciasp;
+    case Op::PACIBSP: return &ExecHandlers::pacibsp;
     case Op::AUTIASP:
-    case Op::AUTIBSP: {
-      if (!cfg_.has_pauth) break;
-      bool faulted;
-      const uint64_t v =
-          do_aut(x(isa::kRegLr), sp(),
-                 inst.op == Op::AUTIBSP ? PacKey::IB : PacKey::IA, inst.op,
-                 faulted);
-      if (!faulted) set_x(isa::kRegLr, v);
-      break;
-    }
+    case Op::AUTIBSP: return &ExecHandlers::autxsp;
     case Op::PACIA1716:
-    case Op::PACIB1716:
-      if (cfg_.has_pauth)
-        set_x(isa::kRegIp1,
-              do_pac(x(isa::kRegIp1), x(isa::kRegIp0),
-                     inst.op == Op::PACIB1716 ? PacKey::IB : PacKey::IA));
-      break;
+    case Op::PACIB1716: return &ExecHandlers::pacx1716;
     case Op::AUTIA1716:
-    case Op::AUTIB1716: {
-      if (!cfg_.has_pauth) break;
-      bool faulted;
-      const uint64_t v =
-          do_aut(x(isa::kRegIp1), x(isa::kRegIp0),
-                 inst.op == Op::AUTIB1716 ? PacKey::IB : PacKey::IA, inst.op,
-                 faulted);
-      if (!faulted) set_x(isa::kRegIp1, v);
-      break;
-    }
-    case Op::XPACLRI:
-      if (cfg_.has_pauth) set_x(isa::kRegLr, pauth_.strip(x(isa::kRegLr)));
-      break;
-
-    case Op::kCount:
-      undefined();
-      break;
+    case Op::AUTIB1716: return &ExecHandlers::autx1716;
+    case Op::XPACLRI: return &ExecHandlers::xpaclri;
+    case Op::kCount: return nullptr;  // never decoded; not in the table
   }
+  return nullptr;
+}
+
+constexpr auto kExecTable = [] {
+  std::array<Cpu::ExecFn, static_cast<size_t>(Op::kCount)> t{};
+  for (size_t i = 0; i < t.size(); ++i)
+    t[i] = pick_handler(static_cast<Op>(i));
+  return t;
+}();
+
+static_assert(
+    [] {
+      for (Cpu::ExecFn fn : kExecTable)
+        if (fn == nullptr) return false;
+      return true;
+    }(),
+    "every decodable Op must have an exec handler");
+
+}  // namespace
+
+Cpu::ExecFn Cpu::exec_handler(isa::Op op) {
+  return kExecTable[static_cast<size_t>(op)];
+}
+
+void Cpu::execute(const Inst& inst) {
+  kExecTable[static_cast<size_t>(inst.op)](*this, inst);
 }
 
 }  // namespace camo::cpu

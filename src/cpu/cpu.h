@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,17 @@
 #include "obs/trace.h"
 
 namespace camo::cpu {
+
+class SuperblockEngine;
+
+/// Superblock-cache statistics (host-side; informational).
+struct SuperblockStats {
+  uint64_t blocks = 0;         ///< block translations (first builds + rebuilds)
+  uint64_t hits = 0;           ///< blocks served from the cache via lookup
+  uint64_t invalidations = 0;  ///< cached blocks rejected by a stale key
+  uint64_t chain_hits = 0;     ///< block→block transitions via the memoized
+                               ///< chain edge (no lookup, no translate)
+};
 
 /// Saved/current processor state flags.
 struct Pstate {
@@ -67,9 +79,17 @@ class Cpu {
     /// Purely a host-side optimisation — simulated cycles, traces, and fault
     /// sequences are bit-for-bit identical with this on or off.
     bool fast_path = true;
+    /// Superblock execution (DESIGN.md §3e): run() executes cached basic
+    /// blocks of pre-resolved handler pointers instead of single-stepping.
+    /// Like fast_path, a host-side optimisation only — simulated state, the
+    /// retire stream and every observability feed are bit-for-bit identical
+    /// with this on or off. Composes with fast_path (step() still uses the
+    /// predecode cache whenever the engine falls back to single-stepping).
+    bool superblocks = true;
   };
 
   Cpu(mem::Mmu& mmu, Config cfg);
+  ~Cpu();  // out-of-line: SuperblockEngine is incomplete here
 
   // ---- Registers --------------------------------------------------------
   uint64_t x(unsigned i) const;          ///< X0..X30; 31 reads as 0 (XZR)
@@ -104,8 +124,11 @@ class Cpu {
   /// Execute one instruction (or take a pending interrupt). Returns false
   /// once the CPU has halted.
   bool step();
-  /// Run until halted or `max_steps` instructions executed. Returns the
-  /// number of instructions executed.
+  /// Run until halted or the step budget is exhausted (an interrupt delivery
+  /// consumes one budget unit like an instruction, exactly as repeated
+  /// step() calls would). Returns the number of instructions *retired*
+  /// during this call — the delta of retired() — which interrupt deliveries
+  /// do not contribute to.
   uint64_t run(uint64_t max_steps);
 
   bool halted() const { return halted_; }
@@ -113,7 +136,10 @@ class Cpu {
   void clear_halt() { halted_ = false; }
 
   uint64_t cycles() const { return cycles_; }
-  uint64_t instret() const { return instret_; }
+  /// Total instructions retired since construction. The single source of
+  /// truth for instruction counts: throughput gauges, fleet telemetry and
+  /// bench results all divide this, never a recomputation.
+  uint64_t retired() const { return instret_; }
 
   /// Retired-instruction histogram by opcode (always maintained; drives the
   /// instruction-mix analysis of §6.1.3's "high rate of function calls").
@@ -191,6 +217,15 @@ class Cpu {
     uint64_t icache_redecodes = 0; ///< misses caused by a stale generation
   };
   const FastPathStats& fast_path_stats() const { return fp_stats_; }
+  /// Superblock-cache statistics (zero when Config::superblocks is off).
+  const SuperblockStats& superblock_stats() const;
+
+  /// Pre-resolved execute handler: the function execute() dispatches
+  /// `inst.op` to. The superblock translator resolves these once per block
+  /// so the dispatch loop is a straight indirect call — there is exactly one
+  /// implementation of every instruction either way.
+  using ExecFn = void (*)(Cpu&, const isa::Inst&);
+  static ExecFn exec_handler(isa::Op op);
 
   // ---- Our simplified ESR encoding --------------------------------------
   static uint64_t esr_pack(ExcClass cls, uint16_t iss, mem::FaultKind fk);
@@ -208,6 +243,9 @@ class Cpu {
   static constexpr uint64_t kVecIrqEl0 = 0x180;
 
  private:
+  friend struct ExecHandlers;     // per-opcode handlers (cpu.cpp)
+  friend class SuperblockEngine;  // block dispatch loop (superblock.cpp)
+
   bool step_impl();
   /// Fast-path fetch: decoded instruction at physical address `pa`,
   /// re-decoding the whole page if its write generation moved. Must only be
@@ -279,6 +317,7 @@ class Cpu {
   uint64_t mru_page_ = ~uint64_t{0};
   DecodedPage* mru_dp_ = nullptr;
   FastPathStats fp_stats_;
+  std::unique_ptr<SuperblockEngine> sb_;  // used by run() when cfg_.superblocks
 
   bool irq_pending_ = false;
   uint64_t timer_cycles_ = 0;  // 0 = disarmed; else absolute cycle deadline

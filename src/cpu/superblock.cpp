@@ -1,0 +1,172 @@
+#include "cpu/superblock.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+
+namespace camo::cpu {
+
+using isa::Inst;
+using mem::FaultKind;
+
+bool SuperblockEngine::valid(const Cpu& cpu, const Block& b,
+                             uint64_t va) const {
+  return b.built && b.va_start == va && b.el == cpu.pstate.el &&
+         b.epoch == cpu.mmu_->fetch_epoch(va) &&
+         b.phys_gen == cpu.mmu_->phys().page_generation(
+                           b.pa_start >> mem::PhysicalMemory::kPageShift);
+}
+
+SuperblockEngine::Block* SuperblockEngine::acquire(Cpu& cpu) {
+  const uint64_t va = cpu.pc;
+  // Unaligned and faulting fetches take their exception on the single-step
+  // path so the fault sequence is byte-identical to the engine-off run.
+  if (!is_aligned(va, 4)) return nullptr;
+  const auto xlat =
+      cpu.mmu_->translate(va, mem::Access::Fetch, cpu.pstate.el);
+  if (xlat.fault != FaultKind::None) return nullptr;
+
+  Block& b = cache_[xlat.pa];
+  if (valid(cpu, b, va)) {
+    ++stats_.hits;
+    return &b;
+  }
+  if (b.built) ++stats_.invalidations;
+  build(cpu, b, va, xlat.pa);
+  // An empty block means the fetch would run off the end of physical
+  // memory; let the interpreter raise the host error it always raised.
+  return b.entries.empty() ? nullptr : &b;
+}
+
+void SuperblockEngine::build(Cpu& cpu, Block& b, uint64_t va, uint64_t pa) {
+  const mem::PhysicalMemory& phys = cpu.mmu_->phys();
+  b.built = true;
+  b.va_start = va;
+  b.pa_start = pa;
+  b.el = cpu.pstate.el;
+  b.epoch = cpu.mmu_->fetch_epoch(va);
+  b.phys_gen =
+      phys.page_generation(pa >> mem::PhysicalMemory::kPageShift);
+  b.chain = nullptr;
+  b.chain_va = 0;
+  b.entries.clear();
+
+  // Decode up to the page boundary (stage-1 mappings are page-granular, so
+  // the VA and PA boundaries coincide), clamped to the end of physical
+  // memory, stopping after the first terminator — which is *included*, so a
+  // block is never empty even when it starts on a branch or PAuth op.
+  const uint64_t page_words =
+      ((uint64_t{1} << mem::PhysicalMemory::kPageShift) -
+       (va & mask(mem::PhysicalMemory::kPageShift))) /
+      4;
+  const uint64_t phys_words = pa < phys.size() ? (phys.size() - pa) / 4 : 0;
+  const uint64_t max_words = std::min(page_words, phys_words);
+  b.entries.reserve(std::min<uint64_t>(max_words, 64));
+  for (uint64_t w = 0; w < max_words; ++w) {
+    Entry e;
+    e.inst = isa::decode(phys.read32(pa + w * 4));
+    e.fn = Cpu::exec_handler(e.inst.op);
+    e.cost = static_cast<uint8_t>(Cpu::cycle_cost(e.inst));
+    e.op_class = static_cast<uint8_t>(Cpu::op_class(e.inst.op));
+    const isa::OpTraits t = isa::op_traits(e.inst.op);
+    e.is_store = t.is_store;
+    b.entries.push_back(e);
+    if (t.ends_block) break;
+  }
+  ++stats_.blocks;
+}
+
+uint64_t SuperblockEngine::execute(Cpu& cpu, uint64_t budget) {
+  uint64_t consumed = 0;
+  Block* prev = nullptr;  // completed predecessor, for the chain memo
+  while (consumed < budget && !cpu.halted_) {
+    Block* blk;
+    if (prev != nullptr && prev->chain != nullptr &&
+        prev->chain_va == cpu.pc && valid(cpu, *prev->chain, cpu.pc)) {
+      blk = prev->chain;  // memoized edge: no lookup, no translate
+      ++stats_.chain_hits;
+    } else {
+      blk = acquire(cpu);
+      if (blk == nullptr) break;  // caller single-steps (fault/unaligned)
+      if (prev != nullptr) {
+        prev->chain = blk;
+        prev->chain_va = blk->va_start;
+      }
+    }
+    prev = nullptr;
+
+    // When no breakpoint can possibly fall inside this block, the per-entry
+    // check collapses to nothing. [bp_min_pc_, bp_max_pc_] is empty
+    // (min > max) when no breakpoints exist.
+    const size_t n = blk->entries.size();
+    const uint64_t va_last = blk->va_start + 4 * (n - 1);
+    const bool bp_overlap =
+        cpu.bp_min_pc_ <= va_last && cpu.bp_max_pc_ >= blk->va_start;
+
+    bool completed = true;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t va = blk->va_start + 4 * i;
+      // Mirror of Cpu::step_impl's preamble, in the same order. Timer and
+      // IRQ state are re-checked before *every* instruction because the
+      // deadline can pass mid-block.
+      if (cpu.timer_cycles_ != 0 && cpu.cycles_ >= cpu.timer_cycles_) {
+        cpu.timer_cycles_ = cpu.timer_period_ == 0
+                                ? 0
+                                : cpu.cycles_ + cpu.timer_period_;
+        cpu.irq_pending_ = true;
+      }
+      if (cpu.irq_pending_ && !cpu.pstate.irq_masked)
+        return consumed;  // step_impl owns interrupt delivery
+      if (bp_overlap && cpu.breakpoints_.find(va) != cpu.breakpoints_.end())
+        return consumed;  // step_impl owns hooks (they may mutate anything)
+
+      // Copy the entry: the final instruction of a block can run host code
+      // (an HVC handler) that could conceivably re-enter the engine and
+      // rebuild this very block in place.
+      const Entry e = blk->entries[i];
+      if (cpu.trace_) cpu.trace_(cpu, va, e.inst);  // pc still == va here
+      uint64_t c0 = 0;
+      uint8_t el0 = 0;
+      if (cpu.attr_ != nullptr) {
+        c0 = cpu.cycles_;
+        el0 = static_cast<uint8_t>(cpu.pstate.el);
+      }
+      cpu.pc = va + 4;
+      e.fn(cpu, e.inst);
+      cpu.cycles_ += cpu.cfg_.enable_cycle_model ? e.cost : 1;
+      ++cpu.instret_;
+      ++cpu.op_counts_[static_cast<size_t>(e.inst.op)];
+      if (cpu.attr_ != nullptr && cpu.cycles_ != c0)
+        cpu.attr_->retire(va, el0, e.op_class, cpu.cycles_ - c0);
+      ++consumed;
+
+      if (consumed == budget) return consumed;  // exact, never overshoots
+      if (i + 1 < n) {
+        // Straight-line entries only leave the block early by faulting
+        // (DataAbort redirects pc to the vector); follow the redirect by
+        // re-acquiring at the new pc.
+        if (cpu.halted_ || cpu.pc != va + 4) {
+          completed = false;
+          break;
+        }
+        // A store may have rewritten this very block further down: the
+        // page's write generation is the same signal the predecode cache
+        // keys on, so the next acquire() re-translates the fresh bytes.
+        if (e.is_store &&
+            blk->phys_gen !=
+                cpu.mmu_->phys().page_generation(
+                    blk->pa_start >> mem::PhysicalMemory::kPageShift)) {
+          completed = false;
+          break;
+        }
+      }
+    }
+    if (completed) {
+      if (cpu.halted_) break;
+      prev = blk;  // next acquisition memoizes the edge taken from here
+    }
+  }
+  return consumed;
+}
+
+}  // namespace camo::cpu

@@ -1,0 +1,104 @@
+// Superblock execution engine (DESIGN.md §3e).
+//
+// The interpreter's dominant host cost after the PR-3 fetch/translate fast
+// path is the per-instruction dispatch round-trip itself: translate, fetch a
+// decoded instruction, switch on the opcode. This engine amortises all of it
+// the way trace-cache interpreters do: straight-line runs of decoded
+// instructions are lazily translated into cached *superblocks* — arrays of
+// pre-resolved handler pointers plus copied operands — and executed by a
+// tight loop that per instruction does only the architectural work the
+// single-step path does (timer, pending-IRQ and breakpoint checks, the trace
+// and attribution feeds, the handler itself, cycle/retire bookkeeping).
+//
+// Invariance contract (the same one the §3c caches honour): simulated state,
+// cycle counts, fault sequences and the retire stream seen by every obs feed
+// are bit-for-bit identical with the engine on or off, for any step budget.
+// Anything the block path cannot reproduce exactly — interrupt delivery,
+// breakpoint hooks, faulting fetches, unaligned pc — bails out to Cpu::step,
+// which IS the single-step path.
+//
+// Validity by construction: a block caches decoded bytes *and* a fetch
+// translation, so it is keyed on everything both depend on —
+//   * the physical page's write generation (mem::PhysicalMemory): any store
+//     to the page, guest or host, makes every cached decode of it stale;
+//   * the identity (uid) and generation of the stage-1 half and the stage-2
+//     overlay (mem::Mmu::fetch_epoch): translate() is a pure function of the
+//     VA and this snapshot, so equality proves the cached translation — map,
+//     permissions, XOM/PXN, canonicality — still holds;
+//   * the start VA and EL the block was built for.
+// Key-setter patching, module .text staging, in-place SMC, map edits and
+// whole-map swaps (SwitchUserSpace) each bump one of these, so stale blocks
+// are unreachable rather than flushed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "isa/isa.h"
+#include "mem/mmu.h"
+
+namespace camo::cpu {
+
+class SuperblockEngine {
+ public:
+  /// Execute whole blocks starting at cpu.pc until `budget` steps are
+  /// consumed, the CPU halts, or something only the single-step path can do
+  /// comes up (pending deliverable IRQ, breakpoint at the next pc, faulting
+  /// or unaligned fetch). Returns the budget units consumed — one per
+  /// retired instruction, exactly like repeated Cpu::step() calls; never
+  /// overshoots. A return of 0 with the CPU still running means "cannot make
+  /// progress here": the caller must single-step once before retrying.
+  uint64_t execute(Cpu& cpu, uint64_t budget);
+
+  const SuperblockStats& stats() const { return stats_; }
+
+ private:
+  /// One translated instruction: the decoded operands plus everything the
+  /// dispatch loop would otherwise recompute per retire.
+  struct Entry {
+    isa::Inst inst;
+    Cpu::ExecFn fn = nullptr;
+    uint8_t cost = 1;      ///< Cpu::cycle_cost(inst)
+    uint8_t op_class = 0;  ///< obs::OpClass for cycle attribution
+    bool is_store = false; ///< recheck the page generation after executing
+  };
+
+  /// A straight-line run of entries ending at the first block terminator
+  /// (isa::op_traits.ends_block) or the page boundary, terminator included.
+  /// Cached by start PA; rebuilt in place when a validity key goes stale, so
+  /// node addresses stay stable and chain pointers never dangle — a stale
+  /// chain target is caught by valid(), not by lifetime.
+  struct Block {
+    uint64_t va_start = 0;
+    uint64_t pa_start = 0;
+    uint64_t phys_gen = 0;             ///< page write generation at build
+    mem::Mmu::FetchEpoch epoch;        ///< stage-1/stage-2 snapshot at build
+    mem::El el = mem::El::El1;
+    bool built = false;
+    std::vector<Entry> entries;
+    /// Memoized successor edge (most-recent-successor): after this block
+    /// completed with pc == chain_va last time, `chain` was the block there.
+    /// Only a shortcut past the lookup+translate — the target is fully
+    /// re-validated before every use, so a wrong or stale memo costs one
+    /// lookup, never correctness. Unconditional branches and fall-through
+    /// edges make it effectively permanent; conditional edges degrade to the
+    /// plain lookup when they alternate.
+    Block* chain = nullptr;
+    uint64_t chain_va = 0;
+  };
+
+  /// True when `b` may execute at `va` right now: same start VA and EL, both
+  /// the translation snapshot and the page's write generation unchanged.
+  bool valid(const Cpu& cpu, const Block& b, uint64_t va) const;
+  /// Look up (or build) a valid block for cpu.pc. Null when the fetch would
+  /// fault or pc is unaligned — the single-step path owns those.
+  Block* acquire(Cpu& cpu);
+  void build(Cpu& cpu, Block& b, uint64_t va, uint64_t pa);
+
+  std::unordered_map<uint64_t, Block> cache_;  // key: start PA
+  SuperblockStats stats_;
+};
+
+}  // namespace camo::cpu

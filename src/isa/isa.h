@@ -242,6 +242,72 @@ bool is_hint_space(Op op);
 /// without PAuth: HINT-space ones execute as NOP, the rest are UNDEFINED).
 bool is_pauth(Op op);
 
+/// Static per-opcode properties the superblock translator (DESIGN.md §3e)
+/// builds straight-line blocks from.
+struct OpTraits {
+  /// Terminates a superblock: everything that can redirect pc, change EL or
+  /// PSTATE.I, touch system state, raise an exception by design, or halt —
+  /// branches, the whole PAuth family (AUT* may fault under FPAC, and key
+  /// state feeds the PAC caches), MRS/MSR/SVC/HVC/BRK/HLT/ERET/DAIF*/ISB,
+  /// and undecodable words.
+  bool ends_block = true;
+  /// Writes guest memory; a block must recheck its own page's write
+  /// generation after every store so self-modifying code never executes a
+  /// stale decode.
+  bool is_store = false;
+  /// May take a synchronous DataAbort mid-block (loads and stores).
+  bool may_fault = false;
+};
+
+constexpr OpTraits op_traits(Op op) {
+  switch (op) {
+    // Straight-line ALU/move body instructions: never touch pc or EL.
+    case Op::MOVZ:
+    case Op::MOVK:
+    case Op::MOVN:
+    case Op::ADD:
+    case Op::SUB:
+    case Op::ADDS:
+    case Op::SUBS:
+    case Op::AND:
+    case Op::ORR:
+    case Op::EOR:
+    case Op::MUL:
+    case Op::UDIV:
+    case Op::LSLV:
+    case Op::LSRV:
+    case Op::ADDI:
+    case Op::SUBI:
+    case Op::ADDSI:
+    case Op::SUBSI:
+    case Op::ANDI:
+    case Op::ORRI:
+    case Op::EORI:
+    case Op::LSLI:
+    case Op::LSRI:
+    case Op::ASRI:
+    case Op::BFI:
+    case Op::UBFX:
+    case Op::ADR:
+    case Op::NOP:
+      return {false, false, false};
+    // Loads: straight-line but may fault.
+    case Op::LDR:
+    case Op::LDRB:
+    case Op::LDP:
+    case Op::LDP_POST:
+      return {false, false, true};
+    // Stores: straight-line, may fault, and may modify code.
+    case Op::STR:
+    case Op::STRB:
+    case Op::STP:
+    case Op::STP_PRE:
+      return {false, true, true};
+    default:
+      return {true, false, false};
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Decoded instruction
 // ---------------------------------------------------------------------------

@@ -167,6 +167,11 @@ bool Machine::run(uint64_t max_steps) {
     const auto& pac = cpu_.pauth().pac_cache_stats();
     sync("fastpath.pac.hit", pac.hits);
     sync("fastpath.pac.miss", pac.misses);
+    const auto& sb = cpu_.superblock_stats();
+    sync("fastpath.sb.blocks", sb.blocks);
+    sync("fastpath.sb.hits", sb.hits);
+    sync("fastpath.sb.invalidations", sb.invalidations);
+    sync("fastpath.sb.chain_hits", sb.chain_hits);
     // Both the aggregate name (single-machine consumers, this registry's
     // own view) and the machine-id-namespaced name: fleet merges combine
     // many machines' registries in one process, where a shared gauge name

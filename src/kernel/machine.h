@@ -75,7 +75,7 @@ class Machine {
   /// gauge on stats() when observability is enabled.
   double host_throughput() const {
     return host_seconds_ > 0
-               ? static_cast<double>(cpu_.instret()) / host_seconds_
+               ? static_cast<double>(cpu_.retired()) / host_seconds_
                : 0;
   }
 

@@ -1,9 +1,16 @@
 #include "mem/mmu.h"
 
+#include <atomic>
+
 #include "support/bits.h"
 #include "support/error.h"
 
 namespace camo::mem {
+
+uint64_t next_map_uid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 const char* fault_name(FaultKind k) {
   switch (k) {

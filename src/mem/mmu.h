@@ -46,6 +46,14 @@ enum class FaultKind : uint8_t {
 
 const char* fault_name(FaultKind k);
 
+/// Process-unique id for map objects (never 0, never reused). Generation
+/// counters are per-object, so a consumer that caches "map at address P had
+/// generation G" could be fooled by a *different* map allocated at the same
+/// address after the first was destroyed (ABA). Identity by uid instead of
+/// pointer closes that hole; atomic because fleets construct maps from many
+/// worker threads.
+uint64_t next_map_uid();
+
 /// Stage-1 page permissions, separately for privileged and user access.
 struct PagePerms {
   bool r_el1 = false, w_el1 = false, x_el1 = false;
@@ -80,11 +88,14 @@ class Stage1Map {
   /// Monotonic counter bumped on every mutation (map/unmap/protect); micro-
   /// TLB entries validated against it go stale the moment the map changes.
   uint64_t generation() const { return generation_; }
+  /// Process-unique object identity (see next_map_uid).
+  uint64_t uid() const { return uid_; }
 
  private:
   static uint64_t key(uint64_t va) { return va >> VaLayout::kPageShift; }
   std::unordered_map<uint64_t, PageEntry> pages_;
   uint64_t generation_ = 0;
+  uint64_t uid_ = next_map_uid();
 };
 
 /// Stage-2 permission overlay, keyed by physical page. Pages without an
@@ -107,10 +118,13 @@ class Stage2Map {
 
   /// Monotonic counter bumped on every restrict; see Stage1Map::generation.
   uint64_t generation() const { return generation_; }
+  /// Process-unique object identity (see next_map_uid).
+  uint64_t uid() const { return uid_; }
 
  private:
   std::unordered_map<uint64_t, Perms> pages_;
   uint64_t generation_ = 0;
+  uint64_t uid_ = next_map_uid();
 };
 
 struct TranslateResult {
@@ -188,6 +202,33 @@ class Mmu {
   Read64 read32_fetch(uint64_t va, El el) const;
   FaultKind write64(uint64_t va, uint64_t v, El el);
   FaultKind write8(uint64_t va, uint8_t v, El el);
+
+  /// Everything a translation of `va` depends on besides the VA itself and
+  /// the fixed layout: the identity and generation of the stage-1 half `va`
+  /// selects and of the stage-2 overlay. translate() is a pure function of
+  /// (va, access, el) and this snapshot, so a consumer that cached a
+  /// successful translation may keep using it for as long as the snapshot
+  /// compares equal — the superblock cache's validation key (DESIGN.md §3e).
+  /// An absent map reads as uid 0, which no live map ever has, so installing
+  /// a map where none was also invalidates.
+  struct FetchEpoch {
+    uint64_t s1_uid = 0, s1_gen = 0, s2_uid = 0, s2_gen = 0;
+    friend bool operator==(const FetchEpoch&, const FetchEpoch&) = default;
+  };
+  FetchEpoch fetch_epoch(uint64_t va) const {
+    const Stage1Map* map =
+        VaLayout::is_kernel_va(va) ? kernel_map_ : user_map_;
+    FetchEpoch e;
+    if (map != nullptr) {
+      e.s1_uid = map->uid();
+      e.s1_gen = map->generation();
+    }
+    if (stage2_ != nullptr) {
+      e.s2_uid = stage2_->uid();
+      e.s2_gen = stage2_->generation();
+    }
+    return e;
+  }
 
   // ---- micro-TLB ---------------------------------------------------------
   /// Enable/disable the micro-TLB (the CPU propagates its fast-path toggle

@@ -49,6 +49,36 @@ TEST(BenchFlags, ParsesAndCompactsAllSharedFlags) {
   EXPECT_EQ(a.argv()[3], nullptr);
 }
 
+TEST(BenchFlags, SbFlagParsesOnOffAndRejectsAnythingElse) {
+  {
+    Argv a({"bench", "--sb", "off", "--keep"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_FALSE(f.sb);
+    ASSERT_EQ(a.argc, 2);
+    EXPECT_STREQ(a.argv()[1], "--keep");
+  }
+  {
+    Argv a({"bench", "--sb=on"});
+    Flags f;
+    f.sb = false;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_TRUE(f.sb);
+  }
+  {
+    Argv a({"bench"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_TRUE(f.sb) << "superblocks default on";
+  }
+  {
+    Argv a({"bench", "--sb", "maybe"});
+    Flags f;
+    const std::string err = Session::parse_flags(a.argc, a.argv(), f);
+    EXPECT_NE(err.find("--sb"), std::string::npos) << err;
+  }
+}
+
 TEST(BenchFlags, EqualsFormWorks) {
   Argv a({"bench", "--json=out.json", "--seed=0x10"});
   Flags f;

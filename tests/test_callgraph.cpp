@@ -92,7 +92,7 @@ struct CpuHarness {
 
   void expect_exact_accounting() {
     EXPECT_EQ(cg.total_cycles(), core.cycles());
-    EXPECT_EQ(cg.total_retires(), core.instret());
+    EXPECT_EQ(cg.total_retires(), core.retired());
     EXPECT_EQ(folded_cycle_sum(cg.folded()), core.cycles());
   }
 
@@ -221,13 +221,13 @@ TEST_F(CallGraphTest, AttachingProfilerDoesNotChangeGuestCycles) {
   build(*this);
   run(/*attach=*/false);
   const uint64_t plain_cycles = core.cycles();
-  const uint64_t plain_insns = core.instret();
+  const uint64_t plain_insns = core.retired();
 
   CpuHarness traced;
   build(traced);
   traced.run(/*attach=*/true);
   EXPECT_EQ(traced.core.cycles(), plain_cycles);
-  EXPECT_EQ(traced.core.instret(), plain_insns);
+  EXPECT_EQ(traced.core.retired(), plain_insns);
   traced.expect_exact_accounting();
 }
 
@@ -259,7 +259,7 @@ TEST(CallGraphMachine, FoldedProfileAccountsForEveryKernelCycle) {
   ASSERT_NE(m.stats(), nullptr);
   const CallGraphProfiler& cg = m.stats()->callgraph();
   EXPECT_EQ(cg.total_cycles(), m.cpu().cycles());
-  EXPECT_EQ(cg.total_retires(), m.cpu().instret());
+  EXPECT_EQ(cg.total_retires(), m.cpu().retired());
   const std::string folded = m.stats()->folded_profile();
   EXPECT_EQ(folded_cycle_sum(folded), m.cpu().cycles());
   // Syscalls from EL0 enter the kernel through synthetic exception frames.
