@@ -131,6 +131,26 @@ int main(int argc, char** argv) {
           }))
     return 1;
 
+  // Latency-distribution histograms (DESIGN.md §3f): one collected read
+  // workload under full protection. The hist.* series are informational —
+  // distribution shape for trend tracking, never a regression gate. The
+  // superblock run-length histogram is host-strategy shape and stays empty
+  // (hence unemitted) when the engine is off.
+  {
+    const auto r = bench::run_workload(compiler::ProtectionConfig::full(),
+                                       make_read(), 400'000'000,
+                                       /*collect=*/true);
+    if (r.halt_code != kernel::kHaltDone) {
+      std::fprintf(stderr, "histogram run failed (halt=0x%llx)\n",
+                   static_cast<unsigned long long>(r.halt_code));
+      return 1;
+    }
+    std::printf("\nlatency distributions (full protection, informational):\n");
+    s.add_histogram("full", "pauth.sign_to_auth", r.sign_to_auth, "cycles");
+    s.add_histogram("full", "key.switch", r.key_switch, "cycles");
+    s.add_histogram("full", "sb.run_length", r.sb_run_length, "insns");
+  }
+
   // --trace <path> / --folded <path>: rerun one workload with the obs
   // collector attached and dump the Chrome trace_event JSON
   // (chrome://tracing / Perfetto), the flat per-symbol cycle profile, and/or

@@ -138,6 +138,20 @@ int main(int argc, char** argv) {
   s.add("fleet", "fleet.steals", static_cast<double>(fs.steals), "steals");
   s.add("fleet", "fleet.imbalance", fs.imbalance, "ratio");
   s.add("fleet", "fleet.throughput", fs.throughput(), "insns/s");
+  // Per-task host duration distribution and the merged (deterministic)
+  // guest-side latency histograms (DESIGN.md §3f); informational hist.*
+  // series like the rest of the block.
+  std::printf("distributions (informational):\n");
+  s.add_histogram("fleet", "task", fs.task_us, "us");
+  if (const obs::Histogram* h =
+          fleet.metrics.find_histogram("pauth.sign_to_auth.cycles"))
+    s.add_histogram("fleet", "pauth.sign_to_auth", *h, "cycles");
+  if (const obs::Histogram* h =
+          fleet.metrics.find_histogram("key.switch.cycles"))
+    s.add_histogram("fleet", "key.switch", *h, "cycles");
+  std::printf("merged audit stream: %zu events (bit-identical at any "
+              "--jobs)\n",
+              fleet.audit.size());
 
   // The merged registry carries every tenant's namespaced throughput gauge
   // plus the recomputed aggregate — the gauge-collision regression this

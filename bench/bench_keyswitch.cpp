@@ -160,5 +160,19 @@ int main(int argc, char** argv) {
     s.add("xom-setter", "null syscall", xom, "cycles/op");
     s.add("banked-keys", "null syscall", banked, "cycles/op", banked / xom);
   }
+
+  // Shared engine-mode throughput block (uniform informational "insns/s"
+  // series; also parity-checks that the host engines leave the key-switch
+  // path's simulated cycles untouched).
+  {
+    const uint64_t n = s.iters(2000, 100);
+    const bool ok = bench::emit_throughput_series(
+        s, "null syscall", compiler::ProtectionConfig::full(), [n] {
+          std::vector<obj::Program> ps;
+          ps.push_back(kernel::workloads::null_syscall(n));
+          return ps;
+        });
+    if (!ok) return 1;
+  }
   return s.finish();
 }

@@ -4,8 +4,6 @@
 // cost and the cost of a full PauthUnit sign/authenticate pair.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-
 #include "bench_util.h"
 #include "cpu/pauth.h"
 #include "qarma/qarma64.h"
@@ -70,19 +68,6 @@ void BM_PacSignAuth(benchmark::State& state) {
 }
 BENCHMARK(BM_PacSignAuth);
 
-/// Wall-clock ns/op of `fn` over `iters` calls (coarse — the JSON series is
-/// for trend tracking; google-benchmark below remains the precise harness).
-template <typename Fn>
-double time_ns_per_op(uint64_t iters, Fn&& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  for (uint64_t i = 0; i < iters; ++i) fn(i);
-  const auto t1 = std::chrono::steady_clock::now();
-  return static_cast<double>(
-             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                 .count()) /
-         static_cast<double>(iters);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,31 +78,38 @@ int main(int argc, char** argv) {
                          "the PAC hash is the hot primitive behind every "
                          "simulated PAuth instruction");
 
+  // The shared best-of-3 throughput helper (uniform informational "ops/s"
+  // series, same shape as the guest benches' "insns/s" blocks);
+  // google-benchmark below remains the precise harness.
   {
     const uint64_t iters = s.iters(1'000'000, 20'000);
     const Key128 key{0x84BE85CE9804E94Bull, 0xEC2802D4E0A488E9ull};
     const Qarma64 cipher(5);
     uint64_t p = 0xFB623599DA6E8127ull;
-    s.add("host", "qarma64 r5 encrypt", time_ns_per_op(iters, [&](uint64_t i) {
+    camo::bench::emit_host_throughput_series(
+        s, "qarma64 r5 encrypt", iters, [&] {
+          for (uint64_t i = 0; i < iters; ++i) {
             p = cipher.encrypt(p, 0x477D469DEC0B8762ull + i, key);
             benchmark::DoNotOptimize(p);
-          }),
-          "ns/op");
+          }
+        });
 
     camo::mem::VaLayout layout;
     const PauthUnit unit(layout);
     uint64_t signed_ptr = 0;
-    s.add("host", "pac sign", time_ns_per_op(iters, [&](uint64_t i) {
-            signed_ptr = unit.add_pac(0xFFFF000000081000ull, i, key);
-            benchmark::DoNotOptimize(signed_ptr);
-          }),
-          "ns/op");
-    s.add("host", "pac sign+auth", time_ns_per_op(iters, [&](uint64_t i) {
-            const uint64_t sp = unit.add_pac(0xFFFF000000081000ull, i, key);
-            const auto a = unit.auth(sp, i, key, PacKey::DB);
-            benchmark::DoNotOptimize(a.ptr);
-          }),
-          "ns/op");
+    camo::bench::emit_host_throughput_series(s, "pac sign", iters, [&] {
+      for (uint64_t i = 0; i < iters; ++i) {
+        signed_ptr = unit.add_pac(0xFFFF000000081000ull, i, key);
+        benchmark::DoNotOptimize(signed_ptr);
+      }
+    });
+    camo::bench::emit_host_throughput_series(s, "pac sign+auth", iters, [&] {
+      for (uint64_t i = 0; i < iters; ++i) {
+        const uint64_t sp = unit.add_pac(0xFFFF000000081000ull, i, key);
+        const auto a = unit.auth(sp, i, key, PacKey::DB);
+        benchmark::DoNotOptimize(a.ptr);
+      }
+    });
   }
 
   // The precise google-benchmark run is skipped under --smoke (its repeated

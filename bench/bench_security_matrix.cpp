@@ -198,5 +198,26 @@ int main(int argc, char** argv) {
   std::printf("\n(Camouflage is bypassed only by same-function/same-SP "
               "replay, which the paper acknowledges as residual: 'the "
               "function address does not completely prevent reuse'.)\n");
+
+  // --flight-rec: run the forged-return attack once more with flight-bundle
+  // capture and write the camo-flight/v1 replay bundle — the producer side
+  // of `camo-audit replay`, and what the Release CI uploads as an artifact.
+  if (!session.flight_rec_path().empty()) {
+    std::string bundle;
+    const auto r = attacks::run_named_attack("rop-injection", "full", &bundle);
+    if (!r || bundle.empty()) {
+      std::fprintf(stderr, "flight-rec: rop-injection produced no bundle\n");
+      return 1;
+    }
+    std::ofstream out(session.flight_rec_path());
+    if (!out) {
+      std::fprintf(stderr, "flight-rec: cannot write %s\n",
+                   session.flight_rec_path().c_str());
+      return 1;
+    }
+    out << bundle << "\n";
+    std::printf("\n[flight bundle (rop-injection, full) -> %s]\n",
+                session.flight_rec_path().c_str());
+  }
   return session.finish();
 }

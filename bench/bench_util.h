@@ -25,6 +25,7 @@
 //     a baseline recording (bench/baselines/) is reproducible bit-for-bit.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -38,6 +39,7 @@
 #include "kernel/machine.h"
 #include "obs/bench_schema.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "par/pool.h"
 
 namespace camo::bench {
@@ -78,6 +80,11 @@ struct RunCycles {
   std::string folded;        ///< folded-stack call-graph profile
   uint64_t profile_cycles = 0;    ///< flat-profiler total (== total)
   uint64_t callgraph_cycles = 0;  ///< call-graph total (== total)
+  obs::Histogram sign_to_auth;    ///< pauth.sign_to_auth.cycles (guest)
+  obs::Histogram key_switch;      ///< key.switch.cycles (guest)
+  /// Superblock dispatch run lengths — host execution-strategy shape, empty
+  /// when the engine is off (add_histogram skips empty histograms).
+  obs::Histogram sb_run_length;
 };
 
 /// Build a machine with `prot`, add the given user programs, run to halt and
@@ -131,7 +138,14 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
     r.folded = st->folded_profile();
     r.profile_cycles = st->profiler().total_cycles();
     r.callgraph_cycles = st->callgraph().total_cycles();
+    if (const obs::Histogram* h =
+            st->metrics().find_histogram("pauth.sign_to_auth.cycles"))
+      r.sign_to_auth = *h;
+    if (const obs::Histogram* h =
+            st->metrics().find_histogram("key.switch.cycles"))
+      r.key_switch = *h;
   }
+  r.sb_run_length = m.cpu().superblock_stats().run_length;
   return r;
 }
 
@@ -186,6 +200,9 @@ class Session {
     std::string json_path;
     std::string trace_path;
     std::string folded_path;
+    /// --flight-rec <path>: where a bench that runs attacks writes the
+    /// camo-flight/v1 replay bundle of its first captured violation.
+    std::string flight_rec_path;
     std::optional<uint64_t> seed;
     bool smoke = false;
     /// --sb on|off: session-wide gate for the superblock engine, ANDed with
@@ -244,6 +261,8 @@ class Session {
       if (take_value("--trace", out.trace_path, matched)) continue;
       if (matched) break;
       if (take_value("--folded", out.folded_path, matched)) continue;
+      if (matched) break;
+      if (take_value("--flight-rec", out.flight_rec_path, matched)) continue;
       if (matched) break;
       if (take_value("--seed", seed_text, matched)) {
         char* end = nullptr;
@@ -322,6 +341,7 @@ class Session {
   const std::string& json_path() const { return flags_.json_path; }
   const std::string& trace_path() const { return flags_.trace_path; }
   const std::string& folded_path() const { return flags_.folded_path; }
+  const std::string& flight_rec_path() const { return flags_.flight_rec_path; }
   unsigned jobs() const { return flags_.jobs; }
 
   /// The session's work-stealing pool, sized by --jobs / CAMO_JOBS
@@ -357,6 +377,25 @@ class Session {
                        std::move(unit), relative});
   }
 
+  /// Emit a histogram as four series points — hist.<name>.{p50,p95,p99,
+  /// count} — and print the summary line. The "hist." benchmark prefix
+  /// marks the whole family informational to camo-perfdiff (quantiles are
+  /// distribution shape, never a regression gate). Empty histograms are
+  /// skipped so registries whose samples depend on the workload do not
+  /// change the series shape between recordings.
+  void add_histogram(const std::string& config, const std::string& name,
+                     const obs::Histogram& h, const std::string& unit) {
+    if (h.count() == 0) return;
+    std::printf("  %-28s n=%llu p50=%.0f p95=%.0f p99=%.0f %s\n", name.c_str(),
+                static_cast<unsigned long long>(h.count()), h.p50(), h.p95(),
+                h.p99(), unit.c_str());
+    const std::string base = "hist." + name;
+    add(config, base + ".p50", h.p50(), unit);
+    add(config, base + ".p95", h.p95(), unit);
+    add(config, base + ".p99", h.p99(), unit);
+    add(config, base + ".count", static_cast<double>(h.count()), "count");
+  }
+
   /// Write the side artifacts and return the process exit code: non-zero if
   /// no measurements were recorded or the emitted JSON fails validation.
   int finish() {
@@ -377,6 +416,9 @@ class Session {
     // recordings, and camo-perfdiff treats "jobs" mismatches as incomparable.
     if (flags_.jobs != 1)
       doc.set("jobs", obs::json::Value(static_cast<uint64_t>(flags_.jobs)));
+    // Absent means on (the default engine): recordings made before the flag
+    // existed — and every default run since — stay byte-identical.
+    if (!flags_.sb) doc.set("sb", obs::json::Value(false));
     obs::json::Value series = obs::json::Value::array();
     for (const SeriesPoint& p : series_) {
       obs::json::Value pt = obs::json::Value::object();
@@ -418,6 +460,28 @@ class Session {
   std::vector<SeriesPoint> series_;
   std::unique_ptr<par::Pool> pool_;
 };
+
+/// Host-side sibling of emit_throughput_series for benches whose measured
+/// loop is pure host code (no Machine — e.g. the raw QARMA core): run `body`
+/// best-of-3 and report ops per host second as one informational
+/// ("host", benchmark) "ops/s" point.
+template <class Fn>
+void emit_host_throughput_series(Session& s, const std::string& benchmark,
+                                 uint64_t ops, Fn&& body) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    const double rate =
+        dt.count() > 0 ? static_cast<double>(ops) / dt.count() : 0;
+    if (rate > best) best = rate;
+  }
+  std::printf("\nhost throughput (%s, informational): %.0f ops/s\n",
+              benchmark.c_str(), best);
+  s.add("host", benchmark, best, "ops/s");
+}
 
 template <class MakePrograms>
 bool emit_throughput_series(Session& s, const std::string& benchmark,

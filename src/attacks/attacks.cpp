@@ -4,6 +4,7 @@
 #include "compiler/instrument.h"
 #include "core/modifier.h"
 #include "kernel/workloads.h"
+#include "obs/flight.h"
 #include "support/format.h"
 
 namespace camo::attacks {
@@ -68,6 +69,16 @@ MachineConfig machine_config(const ProtectionConfig& prot,
   return cfg;
 }
 
+/// run_named_attack's flight-bundle request, visible to record_outcome (the
+/// common tail of every attack path). thread_local so fleet workers running
+/// named attacks concurrently cannot see each other's requests.
+struct FlightCtx {
+  std::string* out = nullptr;
+  const char* attack = "";
+  const char* config = "";
+};
+thread_local FlightCtx g_flight_ctx;
+
 /// Cross-check the trace against the guest view and stamp the final
 /// classification into the event stream.
 void record_outcome(Machine& m, AttackReport& r) {
@@ -78,7 +89,24 @@ void record_outcome(Machine& m, AttackReport& r) {
   e.kind = obs::EventKind::AttackOutcome;
   e.cycles = m.cpu().cycles();
   e.k1 = static_cast<uint8_t>(r.outcome);
+  // Emitting the trace event first lets a Detected verdict arm the flight
+  // recorder even when no guest-visible fault fired (e.g. threshold panic
+  // classified after the run), so the bundle below always has a capture for
+  // detected attacks.
   st->emit(e);
+  obs::AuditEvent a;
+  a.kind = obs::AuditKind::AttackVerdict;
+  a.cycles = m.cpu().cycles();
+  a.ptr = r.pac_failures;
+  a.ptr2 = r.halt_code;
+  a.el = 1;
+  a.aux = static_cast<uint8_t>(r.outcome);
+  st->audit(a);
+  if (g_flight_ctx.out) {
+    *g_flight_ctx.out = obs::flight_bundle_json(
+        st->flight(), st->audit_log().snapshot(), g_flight_ctx.attack,
+        g_flight_ctx.config, m.config().seed);
+  }
 }
 
 AttackReport finish(Machine& m, uint64_t max_steps = 50'000'000) {
@@ -326,6 +354,52 @@ AttackReport run_trapframe_escalation(const ProtectionConfig& prot,
     injected = true;
   });
   return finish(m);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario registry
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& attack_names() {
+  static const std::vector<std::string> names = {
+      "rop-injection",  "forward-edge",  "fops-redirect",
+      "fops-cross-object", "bruteforce", "key-extraction",
+      "rodata-tamper",  "trapframe",     "trapframe-protected"};
+  return names;
+}
+
+const std::vector<std::string>& attack_config_names() {
+  static const std::vector<std::string> names = {"none", "backward", "full"};
+  return names;
+}
+
+std::optional<ProtectionConfig> protection_config_by_name(
+    const std::string& name) {
+  if (name == "none") return ProtectionConfig::none();
+  if (name == "backward") return ProtectionConfig::backward_only();
+  if (name == "full") return ProtectionConfig::full();
+  return std::nullopt;
+}
+
+std::optional<AttackReport> run_named_attack(const std::string& attack,
+                                             const std::string& config,
+                                             std::string* flight_bundle) {
+  const auto prot = protection_config_by_name(config);
+  if (!prot) return std::nullopt;
+  g_flight_ctx = {flight_bundle, attack.c_str(), config.c_str()};
+  std::optional<AttackReport> r;
+  if (attack == "rop-injection") r = run_rop_injection(*prot);
+  else if (attack == "forward-edge") r = run_forward_edge_injection(*prot);
+  else if (attack == "fops-redirect") r = run_fops_redirect(*prot);
+  else if (attack == "fops-cross-object") r = run_fops_cross_object_swap(*prot);
+  else if (attack == "bruteforce") r = run_bruteforce(*prot, 8, 64);
+  else if (attack == "key-extraction") r = run_key_extraction(*prot);
+  else if (attack == "rodata-tamper") r = run_rodata_tamper(*prot);
+  else if (attack == "trapframe") r = run_trapframe_escalation(*prot, false);
+  else if (attack == "trapframe-protected")
+    r = run_trapframe_escalation(*prot, true);
+  g_flight_ctx = {};
+  return r;
 }
 
 // ---------------------------------------------------------------------------

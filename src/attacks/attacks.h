@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "compiler/instrument.h"
 #include "kernel/machine.h"
@@ -112,5 +114,29 @@ bool replay_accepted(compiler::BackwardScheme scheme, ReplayScenario scenario);
 /// (signs under modifier A, authenticates under modifier B).
 bool replay_accepted_on_cpu(compiler::BackwardScheme scheme,
                             ReplayScenario scenario);
+
+// ---- scenario registry (camo-audit / --flight-rec) -------------------------
+
+/// Stable names for every full-system attack above, in a fixed order:
+/// rop-injection, forward-edge, fops-redirect, fops-cross-object,
+/// bruteforce, key-extraction, rodata-tamper, trapframe,
+/// trapframe-protected.
+const std::vector<std::string>& attack_names();
+
+/// Stable names for the protection presets: none, backward, full.
+const std::vector<std::string>& attack_config_names();
+
+/// Resolve a preset name; returns nullopt for unknown names.
+std::optional<compiler::ProtectionConfig> protection_config_by_name(
+    const std::string& name);
+
+/// Run one named attack under one named protection preset. When
+/// `flight_bundle` is non-null, the run's camo-flight/v1 replay bundle
+/// (flight ring + snapshot + audit stream + causal chain) is assembled into
+/// it — this is the producer side of `camo-audit replay`. Returns nullopt
+/// if either name is unknown.
+std::optional<AttackReport> run_named_attack(
+    const std::string& attack, const std::string& config,
+    std::string* flight_bundle = nullptr);
 
 }  // namespace camo::attacks

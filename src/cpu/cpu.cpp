@@ -177,6 +177,18 @@ qarma::Key128 Cpu::pac_key(PacKey k) const {
 
 void Cpu::set_kernel_bank_key(PacKey k, const qarma::Key128& key) {
   kernel_bank_[static_cast<size_t>(k)] = key;
+  bank_prov_[static_cast<size_t>(k)] = ++prov_counter_;
+  if (audit_) {
+    obs::AuditEvent e;
+    e.kind = obs::AuditKind::KeyInstall;
+    e.cycles = cycles_;
+    e.pc = pc;
+    e.key = static_cast<uint8_t>(k);
+    e.el = static_cast<uint8_t>(pstate.el);
+    e.bank = 1;
+    e.prov = bank_prov_[static_cast<size_t>(k)];
+    audit_->audit(e);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -332,6 +344,16 @@ void Cpu::take_exception(ExcClass cls, uint64_t far, uint16_t iss,
       sink_->emit(s2);
     }
   }
+  if (audit_) {
+    obs::AuditEvent a;
+    a.kind = obs::AuditKind::ElEnter;
+    a.cycles = cycles_;
+    a.pc = preferred_return;
+    a.ptr = far;
+    a.el = from_el;
+    a.aux = static_cast<uint8_t>(cls);
+    audit_->audit(a);
+  }
 }
 
 void Cpu::do_eret() {
@@ -357,6 +379,16 @@ void Cpu::do_eret() {
     e.el = 1;  // ERET executes at EL1
     e.k2 = static_cast<uint8_t>(pstate.el);
     sink_->emit(e);
+  }
+  if (audit_) {
+    obs::AuditEvent a;
+    a.kind = obs::AuditKind::ElExit;
+    a.cycles = cycles_;
+    a.pc = eret_pc;
+    a.ptr = pc;
+    a.el = 1;  // ERET executes at EL1
+    a.aux = static_cast<uint8_t>(pstate.el);
+    audit_->audit(a);
   }
 }
 
@@ -420,6 +452,9 @@ bool Cpu::pauth_enabled(PacKey k) const {
 
 uint64_t Cpu::do_pac(uint64_t ptr, uint64_t modifier, PacKey k) {
   if (!pauth_enabled(k)) return ptr;  // disabled keys make PAC* a no-op
+  // Computed before emission so the audit Sign event can carry the signed
+  // result (the causal link an auth failure is matched against).
+  const uint64_t signed_ptr = pauth_.add_pac(ptr, modifier, pac_key(k));
   if (sink_) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::PacSign;
@@ -431,7 +466,21 @@ uint64_t Cpu::do_pac(uint64_t ptr, uint64_t modifier, PacKey k) {
     e.k1 = static_cast<uint8_t>(k);
     sink_->emit(e);
   }
-  return pauth_.add_pac(ptr, modifier, pac_key(k));
+  if (audit_) {
+    obs::AuditEvent a;
+    a.kind = obs::AuditKind::Sign;
+    a.cycles = cycles_;
+    a.pc = pc - 4;
+    a.ptr = ptr;
+    a.ptr2 = signed_ptr;
+    a.modifier = modifier;
+    a.prov = key_provenance(k);
+    a.key = static_cast<uint8_t>(k);
+    a.el = static_cast<uint8_t>(pstate.el);
+    a.mclass = static_cast<uint8_t>(obs::classify_modifier(modifier));
+    audit_->audit(a);
+  }
+  return signed_ptr;
 }
 
 uint64_t Cpu::do_aut(uint64_t ptr, uint64_t modifier, PacKey k, Op op,
@@ -449,6 +498,21 @@ uint64_t Cpu::do_aut(uint64_t ptr, uint64_t modifier, PacKey k, Op op,
     e.el = static_cast<uint8_t>(pstate.el);
     e.k1 = static_cast<uint8_t>(k);
     sink_->emit(e);
+  }
+  if (audit_) {
+    obs::AuditEvent a;
+    a.kind = r.ok ? obs::AuditKind::AuthOk : obs::AuditKind::AuthFail;
+    a.cycles = cycles_;
+    a.pc = pc - 4;
+    a.ptr = ptr;
+    a.ptr2 = r.ptr;
+    a.modifier = modifier;
+    a.lr = gpr_[isa::kRegLr];
+    a.prov = key_provenance(k);
+    a.key = static_cast<uint8_t>(k);
+    a.el = static_cast<uint8_t>(pstate.el);
+    a.mclass = static_cast<uint8_t>(obs::classify_modifier(modifier));
+    audit_->audit(a);
   }
   if (!r.ok) {
     if (pac_observer_) pac_observer_(*this, op, ptr);
@@ -930,16 +994,34 @@ struct ExecHandlers {
       return;
     }
     c.set_sysreg(inst.sysreg, v);
-    if (c.sink_ && isa::is_pauth_key_reg(inst.sysreg)) {
-      obs::TraceEvent e;
-      e.kind = obs::EventKind::KeyWrite;
-      e.cycles = c.cycles_;
-      e.pc = c.pc - 4;
-      e.el = static_cast<uint8_t>(c.pstate.el);
+    if (isa::is_pauth_key_reg(inst.sysreg)) {
       // Key registers are laid out Lo/Hi pairs in PacKey order.
-      e.k1 = static_cast<uint8_t>(static_cast<unsigned>(inst.sysreg) / 2);
-      e.imm = static_cast<uint16_t>(inst.sysreg);
-      c.sink_->emit(e);
+      const auto key_idx =
+          static_cast<size_t>(static_cast<unsigned>(inst.sysreg) / 2);
+      // Each half-write is an install: provenance bumps unconditionally so
+      // audit streams attached later still see consistent ids.
+      c.key_prov_[key_idx] = ++c.prov_counter_;
+      if (c.sink_) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::KeyWrite;
+        e.cycles = c.cycles_;
+        e.pc = c.pc - 4;
+        e.el = static_cast<uint8_t>(c.pstate.el);
+        e.k1 = static_cast<uint8_t>(key_idx);
+        e.imm = static_cast<uint16_t>(inst.sysreg);
+        c.sink_->emit(e);
+      }
+      if (c.audit_) {
+        obs::AuditEvent a;
+        a.kind = obs::AuditKind::KeyInstall;
+        a.cycles = c.cycles_;
+        a.pc = c.pc - 4;
+        a.key = static_cast<uint8_t>(key_idx);
+        a.el = static_cast<uint8_t>(c.pstate.el);
+        a.prov = c.key_prov_[key_idx];
+        a.imm = static_cast<uint16_t>(inst.sysreg);
+        c.audit_->audit(a);
+      }
     }
   }
   static void svc(Cpu& c, const Inst& inst) {

@@ -25,6 +25,8 @@
 #include "cpu/pauth.h"
 #include "isa/isa.h"
 #include "mem/mmu.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace camo::cpu {
@@ -38,6 +40,13 @@ struct SuperblockStats {
   uint64_t invalidations = 0;  ///< cached blocks rejected by a stale key
   uint64_t chain_hits = 0;     ///< block→block transitions via the memoized
                                ///< chain edge (no lookup, no translate)
+  /// Instructions retired per block dispatch (DESIGN.md §3f): every entry
+  /// into a cached block records the number of instructions the dispatch
+  /// loop retired before leaving it. Deterministic for a fixed engine
+  /// configuration, but — like the counters above — a property of the host
+  /// execution strategy, so it lives here and not in the merged metrics
+  /// registry.
+  obs::Histogram run_length;
 };
 
 /// Saved/current processor state flags.
@@ -115,6 +124,27 @@ class Cpu {
   /// There is deliberately no guest instruction that reads or writes the
   /// bank — that is the point of the §8 extension.
   void set_kernel_bank_key(PacKey k, const qarma::Key128& key);
+  /// Host-only read of the kernel bank (flight-recorder snapshots).
+  const qarma::Key128& kernel_bank_key(PacKey k) const {
+    return kernel_bank_[static_cast<size_t>(k)];
+  }
+
+  /// Provenance id of the key value execution at the current EL would use
+  /// for `k` (see obs/audit.h). 0 = installed outside the audited path
+  /// (host set_sysreg without an MSR, e.g. the raw test harness).
+  uint64_t key_provenance(PacKey k) const {
+    if (cfg_.banked_keys && pstate.el != mem::El::El0)
+      return bank_prov_[static_cast<size_t>(k)];
+    return key_prov_[static_cast<size_t>(k)];
+  }
+  /// Provenance id of the key-register (non-bank) value for `k`.
+  uint64_t sysreg_key_provenance(PacKey k) const {
+    return key_prov_[static_cast<size_t>(k)];
+  }
+  /// Provenance id of the kernel-bank value for `k`.
+  uint64_t bank_key_provenance(PacKey k) const {
+    return bank_prov_[static_cast<size_t>(k)];
+  }
 
   const PauthUnit& pauth() const { return pauth_; }
   mem::Mmu& mmu() { return *mmu_; }
@@ -206,6 +236,11 @@ class Cpu {
   /// attaching a sink never changes simulated cycle counts.
   void set_cf_sink(obs::CfSink* s) { cf_ = s; }
   obs::CfSink* cf_sink() const { return cf_; }
+  /// Security audit stream (obs/audit.h): key installs with provenance,
+  /// sign/auth outcomes, EL transitions. Null (the default) disables
+  /// emission; attaching a sink never changes simulated cycle counts.
+  void set_audit_sink(obs::AuditSink* s) { audit_ = s; }
+  obs::AuditSink* audit_sink() const { return audit_; }
 
   /// Coarse class of an opcode for per-class retired-op metrics.
   static obs::OpClass op_class(isa::Op op);
@@ -336,7 +371,15 @@ class Cpu {
   obs::TraceSink* sink_ = nullptr;
   obs::CycleAttributor* attr_ = nullptr;
   obs::CfSink* cf_ = nullptr;
+  obs::AuditSink* audit_ = nullptr;
   obs::OpClass step_op_class_ = obs::OpClass::Other;  // scratch, set per step
+
+  // Key provenance (obs/audit.h): a monotonically increasing install id per
+  // key slot, bumped on every guest MSR of a key half and on every kernel-
+  // bank install. Pure bookkeeping — never consulted by execution.
+  uint64_t prov_counter_ = 0;
+  std::array<uint64_t, 5> key_prov_{};   // key registers, PacKey order
+  std::array<uint64_t, 5> bank_prov_{};  // EL2 kernel bank, PacKey order
 };
 
 }  // namespace camo::cpu

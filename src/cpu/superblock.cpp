@@ -103,6 +103,10 @@ uint64_t SuperblockEngine::execute(Cpu& cpu, uint64_t budget) {
     const bool bp_overlap =
         cpu.bp_min_pc_ <= va_last && cpu.bp_max_pc_ >= blk->va_start;
 
+    // Dispatch run length (instructions retired inside this block entry)
+    // for the §3f histogram; zero-length dispatches (bail before the first
+    // instruction) are not samples.
+    const uint64_t d0 = consumed;
     bool completed = true;
     for (size_t i = 0; i < n; ++i) {
       const uint64_t va = blk->va_start + 4 * i;
@@ -115,10 +119,14 @@ uint64_t SuperblockEngine::execute(Cpu& cpu, uint64_t budget) {
                                 : cpu.cycles_ + cpu.timer_period_;
         cpu.irq_pending_ = true;
       }
-      if (cpu.irq_pending_ && !cpu.pstate.irq_masked)
+      if (cpu.irq_pending_ && !cpu.pstate.irq_masked) {
+        if (consumed > d0) stats_.run_length.record(consumed - d0);
         return consumed;  // step_impl owns interrupt delivery
-      if (bp_overlap && cpu.breakpoints_.find(va) != cpu.breakpoints_.end())
+      }
+      if (bp_overlap && cpu.breakpoints_.find(va) != cpu.breakpoints_.end()) {
+        if (consumed > d0) stats_.run_length.record(consumed - d0);
         return consumed;  // step_impl owns hooks (they may mutate anything)
+      }
 
       // Copy the entry: the final instruction of a block can run host code
       // (an HVC handler) that could conceivably re-enter the engine and
@@ -140,7 +148,10 @@ uint64_t SuperblockEngine::execute(Cpu& cpu, uint64_t budget) {
         cpu.attr_->retire(va, el0, e.op_class, cpu.cycles_ - c0);
       ++consumed;
 
-      if (consumed == budget) return consumed;  // exact, never overshoots
+      if (consumed == budget) {
+        stats_.run_length.record(consumed - d0);
+        return consumed;  // exact, never overshoots
+      }
       if (i + 1 < n) {
         // Straight-line entries only leave the block early by faulting
         // (DataAbort redirects pc to the vector); follow the redirect by
@@ -161,6 +172,7 @@ uint64_t SuperblockEngine::execute(Cpu& cpu, uint64_t budget) {
         }
       }
     }
+    if (consumed > d0) stats_.run_length.record(consumed - d0);
     if (completed) {
       if (cpu.halted_) break;
       prev = blk;  // next acquisition memoizes the edge taken from here

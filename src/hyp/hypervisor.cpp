@@ -118,6 +118,15 @@ bool Hypervisor::filter_msr(cpu::Cpu& cpu, isa::SysReg reg, uint64_t) {
       e.imm = static_cast<uint16_t>(reg);
       sink_->emit(e);
     }
+    if (audit_) {
+      obs::AuditEvent a;
+      a.kind = obs::AuditKind::HypDenied;
+      a.cycles = cpu.cycles();
+      a.pc = cpu.pc;
+      a.el = static_cast<uint8_t>(cpu.pstate.el);
+      a.imm = static_cast<uint16_t>(reg);
+      audit_->audit(a);
+    }
     return false;
   };
   // Translation control is never EL1-writable: the paper's threat model has
@@ -204,6 +213,17 @@ void Hypervisor::do_load_module(cpu::Cpu& cpu) {
     e.el = static_cast<uint8_t>(cpu.pstate.el);
     e.k1 = ok ? 1 : 0;
     sink_->emit(e);
+  }
+  if (audit_) {
+    obs::AuditEvent a;
+    a.kind = obs::AuditKind::ModuleVerify;
+    a.cycles = cpu.cycles();
+    a.pc = cpu.pc;
+    a.ptr = id;
+    a.ptr2 = init_va;
+    a.el = static_cast<uint8_t>(cpu.pstate.el);
+    a.aux = ok ? 1 : 0;
+    audit_->audit(a);
   }
 
   if (!ok) {

@@ -113,6 +113,9 @@ class Hypervisor {
   /// Structured EL2-side trace events (HVC calls, module loads, denied MSR
   /// writes). Null disables emission.
   void set_trace_sink(obs::TraceSink* s) { sink_ = s; }
+  /// Security audit stream (obs/audit.h): MSR denials and module-verify
+  /// verdicts. Null disables emission.
+  void set_audit_sink(obs::AuditSink* s) { audit_ = s; }
 
  private:
   void handle_hvc(cpu::Cpu& cpu, uint16_t imm);
@@ -146,6 +149,7 @@ class Hypervisor {
 
   std::string console_;
   obs::TraceSink* sink_ = nullptr;
+  obs::AuditSink* audit_ = nullptr;
 };
 
 }  // namespace camo::hyp

@@ -103,6 +103,45 @@ void Machine::attach_observability() {
   cpu_.set_cycle_attributor(stats_.get());
   if (cfg_.obs.callgraph) cpu_.set_cf_sink(stats_.get());
   hv_.set_trace_sink(stats_.get());
+  // Security audit stream (DESIGN.md §3f): CPU key/PAC/EL events and
+  // hypervisor denials land in the collector's AuditLog, stamped with this
+  // machine's fleet identity so merged logs stay per-machine attributable.
+  stats_->audit_log().set_machine_id(cfg_.machine_id);
+  cpu_.set_audit_sink(stats_.get());
+  hv_.set_audit_sink(stats_.get());
+  // Flight-recorder state provider: fills the machine-state snapshot at
+  // capture time. Everything read here is guest-deterministic.
+  stats_->flight().set_state_provider([this](obs::FlightSnapshot& s) {
+    using isa::SysReg;
+    for (unsigned i = 0; i < 31; ++i) s.x[i] = cpu_.x(i);
+    s.sp_el0 = cpu_.sp_el(mem::El::El0);
+    s.sp_el1 = cpu_.sp_el(mem::El::El1);
+    s.pc = cpu_.pc;
+    s.el = static_cast<uint8_t>(cpu_.pstate.el);
+    s.banked_keys = cpu_.config().banked_keys;
+    s.elr_el1 = cpu_.sysreg(SysReg::ELR_EL1);
+    s.spsr_el1 = cpu_.sysreg(SysReg::SPSR_EL1);
+    s.esr_el1 = cpu_.sysreg(SysReg::ESR_EL1);
+    s.far_el1 = cpu_.sysreg(SysReg::FAR_EL1);
+    s.vbar_el1 = cpu_.sysreg(SysReg::VBAR_EL1);
+    s.sctlr_el1 = cpu_.sysreg(SysReg::SCTLR_EL1);
+    s.pending_esr = s.esr_el1;  // last syndrome delivered to EL1
+    for (unsigned k = 0; k < 5; ++k) {
+      const auto key = static_cast<cpu::PacKey>(k);
+      s.keys[k].lo = cpu_.sysreg(static_cast<SysReg>(k * 2));
+      s.keys[k].hi = cpu_.sysreg(static_cast<SysReg>(k * 2 + 1));
+      s.keys[k].prov = cpu_.sysreg_key_provenance(key);
+      const qarma::Key128& b = cpu_.kernel_bank_key(key);
+      s.bank[k].lo = b.k0;
+      s.bank[k].hi = b.w0;
+      s.bank[k].prov = cpu_.bank_key_provenance(key);
+    }
+    const mem::Mmu::FetchEpoch ep = mmu_.fetch_epoch(cpu_.pc);
+    // Map uids are process-global host identity (ABA bookkeeping), not
+    // guest state: only the deterministic generations go into the bundle.
+    s.s1_gen = ep.s1_gen;
+    s.s2_gen = ep.s2_gen;
+  });
 
   if (cfg_.obs.profile || cfg_.obs.callgraph) {
     const auto add_region = [&](const std::string& name, uint64_t start,

@@ -1,0 +1,66 @@
+#include "obs/audit.h"
+
+namespace camo::obs {
+
+const char* audit_kind_name(AuditKind k) {
+  switch (k) {
+    case AuditKind::None: return "none";
+    case AuditKind::KeyInstall: return "key-install";
+    case AuditKind::Sign: return "sign";
+    case AuditKind::AuthOk: return "auth-ok";
+    case AuditKind::AuthFail: return "auth-fail";
+    case AuditKind::ElEnter: return "el-enter";
+    case AuditKind::ElExit: return "el-exit";
+    case AuditKind::HypDenied: return "hyp-denied";
+    case AuditKind::ModuleVerify: return "module-verify";
+    case AuditKind::AttackVerdict: return "attack-verdict";
+    case AuditKind::kCount: break;
+  }
+  return "<bad-kind>";
+}
+
+const char* modifier_class_name(ModifierClass c) {
+  switch (c) {
+    case ModifierClass::Zero: return "zero";
+    case ModifierClass::Address: return "address";
+    case ModifierClass::Composite: return "composite";
+  }
+  return "<bad-class>";
+}
+
+std::vector<size_t> causal_chain(const std::vector<AuditEvent>& events,
+                                 size_t at) {
+  std::vector<size_t> chain;
+  if (at >= events.size()) return chain;
+  const AuditEvent& fail = events[at];
+  if (fail.kind != AuditKind::AuthFail) {
+    chain.push_back(at);
+    return chain;
+  }
+  // A PAC-stripped view of the failing pointer: when the attacker corrupted
+  // the PAC bits but kept the target, the low 48 bits still match the raw
+  // pointer that was signed.
+  const uint64_t kLow48 = (uint64_t{1} << 48) - 1;
+  for (size_t i = 0; i < at; ++i) {
+    const AuditEvent& e = events[i];
+    if (e.machine != fail.machine) continue;
+    if (e.kind == AuditKind::KeyInstall && e.prov == fail.prov &&
+        fail.prov != 0) {
+      chain.push_back(i);
+    } else if (e.kind == AuditKind::Sign && e.key == fail.key &&
+               e.prov == fail.prov) {
+      const bool exact = e.ptr2 == fail.ptr;  // signed value replayed as-is
+      const bool stripped =
+          (e.ptr & kLow48) == (fail.ptr & kLow48);  // PAC bits corrupted
+      if (exact || stripped) chain.push_back(i);
+    }
+  }
+  chain.push_back(at);
+  for (size_t i = at + 1; i < events.size(); ++i) {
+    if (events[i].machine != fail.machine) continue;
+    if (events[i].kind == AuditKind::AttackVerdict) chain.push_back(i);
+  }
+  return chain;
+}
+
+}  // namespace camo::obs

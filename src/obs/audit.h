@@ -1,0 +1,182 @@
+// camo::obs security audit stream (DESIGN.md §3f).
+//
+// The trace ring answers "what happened"; the audit log answers "why was
+// this pointer accepted or rejected". It is a typed, bounded stream of every
+// security-relevant event — key installs (MSR halves and EL2 bank
+// provisioning), PAC sign and authentication outcomes, EL transitions,
+// hypervisor denials and attack verdicts — with one extra ingredient the
+// trace lacks: **key provenance**. Every live key value carries a
+// monotonically increasing provenance id, assigned when the key material is
+// installed; sign and auth events record the provenance of the key they
+// used. An authentication failure therefore links causally back through the
+// sign events made under the same key generation to the exact install that
+// produced it, which is what camo-audit's causal-chain printer walks.
+//
+// Determinism rules (same contract as the trace ring):
+//  * producers hold a null AuditSink pointer by default — emission never
+//    costs simulated cycles and the guest run is bit-for-bit identical with
+//    or without a sink attached;
+//  * every payload is guest-deterministic (cycle counter, guest PCs,
+//    pointer/modifier values, provenance counters) — no host wall clock —
+//    so fleet runs merged in task-index order produce bit-identical logs
+//    for any --jobs value, and a flight-recorder bundle replayed on a fresh
+//    machine reproduces the stream exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace camo::obs {
+
+/// Typed audit events. Payload assignments are documented per kind.
+enum class AuditKind : uint8_t {
+  None = 0,
+  KeyInstall,    ///< key material installed: key=PacKey, prov=new id,
+                 ///< bank=1 for the EL2-managed kernel bank (§8) else 0,
+                 ///< imm=sysreg (half written) when bank==0
+  Sign,          ///< PAC insertion: ptr=raw pointer, ptr2=signed result,
+                 ///< modifier, key, prov=provenance of the signing key
+  AuthOk,        ///< AUT* accepted: ptr=input, ptr2=stripped result
+  AuthFail,      ///< AUT* rejected: ptr=input, ptr2=poisoned result,
+                 ///< pc=faulting instruction, lr=x30 at failure
+  ElEnter,       ///< exception entry: aux=ExcClass, el=EL before entry,
+                 ///< pc=preferred return, ptr=FAR
+  ElExit,        ///< ERET: aux=target EL, ptr=target pc
+  HypDenied,     ///< hypervisor denied an EL1 MSR write: imm=sysreg
+  ModuleVerify,  ///< module load verification: ptr=module id, aux=1 when ok
+  AttackVerdict, ///< attacks:: classification: aux=Outcome ordinal
+  kCount,
+};
+
+const char* audit_kind_name(AuditKind k);
+
+/// Structural classification of a PAC modifier value — enough to tell the
+/// paper's modifier constructions apart without reaching into the compiler:
+/// zero (Apple-style, §7), a plain canonical address (Clang's SP-only
+/// scheme), or a composite mixing address and context bits (Camouflage's
+/// SP ‖ function address, PARTS' SP ‖ function-id, the object modifier).
+enum class ModifierClass : uint8_t { Zero = 0, Address, Composite };
+
+const char* modifier_class_name(ModifierClass c);
+
+/// Classify a modifier value structurally: 0 is Zero; a value whose top 16
+/// bits are all-zero or all-one (a canonical VA) is Address; anything else
+/// is Composite.
+inline ModifierClass classify_modifier(uint64_t modifier) {
+  if (modifier == 0) return ModifierClass::Zero;
+  const uint64_t top = modifier >> 48;
+  if (top == 0 || top == 0xFFFF) return ModifierClass::Address;
+  return ModifierClass::Composite;
+}
+
+/// One audit record (fixed size). `cycles` is the CPU cycle counter at
+/// emission; `machine` is stamped by the receiving log so fleet-merged
+/// streams keep every machine's events distinct.
+struct AuditEvent {
+  uint64_t cycles = 0;
+  uint64_t pc = 0;        ///< guest pc associated with the event (0 if none)
+  uint64_t ptr = 0;       ///< kind-specific (see AuditKind)
+  uint64_t ptr2 = 0;      ///< kind-specific
+  uint64_t modifier = 0;  ///< Sign/Auth*: the PAC modifier used
+  uint64_t lr = 0;        ///< AuthFail: x30 at the failing instruction
+  uint64_t prov = 0;      ///< provenance id of the key involved (0 = none /
+                          ///< installed outside the audited path)
+  uint32_t machine = 0;   ///< fleet machine id (stamped by the log)
+  AuditKind kind = AuditKind::None;
+  uint8_t key = 0;      ///< PacKey ordinal for key/sign/auth events
+  uint8_t el = 0;       ///< exception level at emission
+  uint8_t mclass = 0;   ///< ModifierClass ordinal (Sign/Auth*)
+  uint8_t bank = 0;     ///< KeyInstall: 1 = EL2 kernel bank, 0 = key register
+  uint8_t aux = 0;      ///< kind-specific small payload (class, EL, outcome)
+  uint16_t imm = 0;     ///< kind-specific 16-bit payload (sysreg)
+};
+
+/// Audit consumer. Producers treat a null sink as "auditing off".
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+  virtual void audit(const AuditEvent& e) = 0;
+};
+
+/// Fixed-capacity audit ring (the default AuditSink backend), modeled on
+/// TraceRing: keeps the most recent `capacity` events, counts overwritten
+/// ones in dropped(), iterates oldest→newest.
+class AuditLog : public AuditSink {
+ public:
+  explicit AuditLog(size_t capacity = 8192)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    buf_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+  }
+
+  void audit(const AuditEvent& e) override {
+    ++total_;
+    if (buf_.size() < capacity_) {
+      buf_.push_back(e);
+      buf_.back().machine = machine_id_;
+      return;
+    }
+    buf_[head_] = e;
+    buf_[head_].machine = machine_id_;
+    head_ = (head_ + 1) % capacity_;
+  }
+
+  /// Fleet identity stamped onto every subsequent event.
+  void set_machine_id(uint32_t id) { machine_id_ = id; }
+  uint32_t machine_id() const { return machine_id_; }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  uint64_t total() const { return total_; }
+  uint64_t dropped() const { return total_ - buf_.size(); }
+
+  /// i-th retained event, oldest first (0 <= i < size()).
+  const AuditEvent& at(size_t i) const {
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Snapshot in chronological order.
+  std::vector<AuditEvent> snapshot() const {
+    std::vector<AuditEvent> out;
+    out.reserve(buf_.size());
+    for (size_t i = 0; i < buf_.size(); ++i) out.push_back(at(i));
+    return out;
+  }
+
+  template <typename Pred>
+  uint64_t count_if(Pred pred) const {
+    uint64_t n = 0;
+    for (size_t i = 0; i < buf_.size(); ++i) n += pred(at(i)) ? 1 : 0;
+    return n;
+  }
+  uint64_t count_kind(AuditKind k) const {
+    return count_if([k](const AuditEvent& e) { return e.kind == k; });
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  ///< index of the oldest event once full
+  uint64_t total_ = 0;
+  uint32_t machine_id_ = 0;
+  std::vector<AuditEvent> buf_;
+};
+
+/// Indices (into `events`) of the causal chain ending at `at`: the key
+/// installs sharing the failing key's provenance, the sign events made under
+/// that provenance whose output (or raw input) matches the failing pointer,
+/// the event at `at` itself, and any attack verdict recorded after it. When
+/// `at` is not an auth failure the chain is just {at}. An AuthFail whose
+/// pointer matches no sign event is the forged-pointer signature: the chain
+/// then carries installs + the failure only, and camo-audit reports
+/// "no matching sign event (forged pointer)".
+std::vector<size_t> causal_chain(const std::vector<AuditEvent>& events,
+                                 size_t at);
+
+}  // namespace camo::obs

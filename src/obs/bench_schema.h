@@ -11,6 +11,11 @@
 //                                          // across (--jobs); wall-clock
 //                                          // series are not comparable
 //                                          // across different jobs values
+//     "sb": false,                         // optional, absent means true:
+//                                          // whether the superblock engine
+//                                          // was allowed (--sb); host-side
+//                                          // only, simulated cycles are
+//                                          // engine-independent
 //     "series": [ {"config": "full", "benchmark": "null syscall",
 //                  "value": 1234.5, "unit": "cycles/op",
 //                  "relative": 1.31},  ... ]
@@ -44,6 +49,7 @@ struct BenchDoc {
   bool smoke = false;
   std::optional<uint64_t> seed;  ///< RNG seed the run used, when recorded
   unsigned jobs = 1;             ///< host threads of the run (absent = 1)
+  bool sb = true;                ///< superblock engine allowed (absent = true)
   std::vector<BenchSeriesPoint> series;
 };
 

@@ -7,11 +7,16 @@
 namespace camo::obs {
 
 namespace {
-constexpr uint8_t kExcClassSvc = 1;  // mirrors cpu::ExcClass::Svc
-}
+constexpr uint8_t kExcClassSvc = 1;   // mirrors cpu::ExcClass::Svc
+constexpr uint8_t kOutcomeDetected = 1;  // mirrors attacks::Outcome::Detected
+constexpr uint64_t kBurstGapCycles = 32;
+}  // namespace
 
 Collector::Collector(const Options& opts)
-    : opts_(opts), ring_(opts.trace_capacity) {
+    : opts_(opts),
+      ring_(opts.trace_capacity),
+      audit_log_(opts.audit_capacity),
+      flight_(opts.flight_capacity) {
   for (int el = 0; el < 3; ++el) {
     cycles_el_[el] = &reg_.counter("cycles.el" + std::to_string(el));
     insn_el_[el] = &reg_.counter("insn.el" + std::to_string(el));
@@ -20,6 +25,10 @@ Collector::Collector(const Options& opts)
     ops_[c] = &reg_.counter(std::string("ops.") +
                             op_class_name(static_cast<OpClass>(c)));
   syscall_cycles_ = &reg_.histogram("syscall.cycles");
+  // Created eagerly so the registry shape is identical whether or not the
+  // run produced samples (fleet merges and cross-config diffs rely on it).
+  sign_to_auth_ = &reg_.histogram("pauth.sign_to_auth.cycles");
+  key_switch_ = &reg_.histogram("key.switch.cycles");
 }
 
 void Collector::emit(const TraceEvent& e) {
@@ -61,6 +70,16 @@ void Collector::emit(const TraceEvent& e) {
     case EventKind::KeyWrite:
       reg_.counter("key.write").inc();
       reg_.counter(std::string("key.write.") + pac_key_label(e.k1)).inc();
+      if (burst_open_ && e.cycles - burst_last_ <= kBurstGapCycles) {
+        burst_last_ = e.cycles;
+        ++burst_writes_;
+      } else {
+        if (burst_open_ && burst_writes_ >= 2)
+          key_switch_->record(burst_last_ - burst_first_);
+        burst_open_ = true;
+        burst_first_ = burst_last_ = e.cycles;
+        burst_writes_ = 1;
+      }
       break;
     case EventKind::PacSign:
       reg_.counter("pauth.sign").inc();
@@ -96,10 +115,47 @@ void Collector::emit(const TraceEvent& e) {
     default:
       break;
   }
+  // Flight-recorder capture: any protection violation or attack detection
+  // freezes the instruction ring and snapshots machine state (first trigger
+  // wins — it is the causal root).
+  const bool violation =
+      e.kind == EventKind::AuthFail || e.kind == EventKind::Stage2Fault ||
+      e.kind == EventKind::MsrDenied ||
+      (e.kind == EventKind::AttackOutcome && e.k1 == kOutcomeDetected);
+  if (violation) flight_.trigger(e);
+}
+
+void Collector::audit(const AuditEvent& e) {
+  audit_log_.audit(e);
+  switch (e.kind) {
+    case AuditKind::Sign:
+      if (pending_signs_.size() < kMaxPendingSigns ||
+          pending_signs_.count(e.ptr2)) {
+        pending_signs_[e.ptr2] = e.cycles;
+      } else {
+        reg_.counter("pauth.sign_to_auth.dropped").inc();
+      }
+      break;
+    case AuditKind::AuthOk:
+    case AuditKind::AuthFail: {
+      const auto it = pending_signs_.find(e.ptr);
+      if (it != pending_signs_.end()) {
+        sign_to_auth_->record(e.cycles - it->second);
+        pending_signs_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;
+  }
 }
 
 void Collector::retire(uint64_t pc, uint8_t el, uint8_t op_class,
                        uint64_t cycles) {
+  // retired_cycles_ is the cycle counter *before* this step (summing the
+  // retire feed reproduces Cpu::cycles()), matching the pre-step pc/el.
+  flight_.retire(retired_cycles_, pc, op_class, el);
+  retired_cycles_ += cycles;
   if (el < 3) {
     cycles_el_[el]->inc(cycles);
     insn_el_[el]->inc();

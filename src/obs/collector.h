@@ -20,8 +20,11 @@
 
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 
+#include "obs/audit.h"
 #include "obs/callgraph.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/ring.h"
@@ -37,9 +40,14 @@ struct Options {
   size_t trace_capacity = 1 << 15;  ///< TraceRing capacity (events)
   bool profile = true;              ///< attach the per-symbol cycle profiler
   bool callgraph = true;  ///< attach the shadow-call-stack profiler too
+  size_t audit_capacity = 8192;  ///< AuditLog capacity (events)
+  size_t flight_capacity = 256;  ///< flight-recorder ring (instructions)
 };
 
-class Collector : public TraceSink, public CycleAttributor, public CfSink {
+class Collector : public TraceSink,
+                  public CycleAttributor,
+                  public CfSink,
+                  public AuditSink {
  public:
   explicit Collector(const Options& opts = Options{});
 
@@ -49,12 +57,21 @@ class Collector : public TraceSink, public CycleAttributor, public CfSink {
               uint64_t cycles) override;
   void control_flow(CfKind kind, uint64_t from_pc, uint64_t to_pc,
                     uint8_t info) override;
+  /// Security audit stream (DESIGN.md §3f). Besides recording into the
+  /// AuditLog, the collector derives the `pauth.sign_to_auth.cycles`
+  /// histogram here: each Sign remembers its signed value + cycle, the
+  /// matching Auth* records the distance and retires the entry.
+  void audit(const AuditEvent& e) override;
 
   // Backends ----------------------------------------------------------------
   Registry& metrics() { return reg_; }
   const Registry& metrics() const { return reg_; }
   TraceRing& ring() { return ring_; }
   const TraceRing& ring() const { return ring_; }
+  AuditLog& audit_log() { return audit_log_; }
+  const AuditLog& audit_log() const { return audit_log_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
   Profiler& profiler() { return prof_; }
   const Profiler& profiler() const { return prof_; }
   CallGraphProfiler& callgraph() { return cg_; }
@@ -75,6 +92,8 @@ class Collector : public TraceSink, public CycleAttributor, public CfSink {
   Options opts_;
   Registry reg_;
   TraceRing ring_;
+  AuditLog audit_log_;
+  FlightRecorder flight_;
   Profiler prof_;
   CallGraphProfiler cg_;
 
@@ -83,12 +102,33 @@ class Collector : public TraceSink, public CycleAttributor, public CfSink {
   uint64_t syscall_enter_cycles_ = 0;
   uint16_t syscall_nr_ = 0;
 
+  // Sign→auth latency matching: signed value -> sign cycle. Entries retire
+  // on the matching auth; the map is capped so signs that are never
+  // authenticated cannot grow it unboundedly (drops are counted).
+  static constexpr size_t kMaxPendingSigns = 1 << 16;
+  std::unordered_map<uint64_t, uint64_t> pending_signs_;
+
+  // Key-switch burst detection: consecutive KeyWrite events ≤ 32 cycles
+  // apart form one burst (a bank switch writes several halves back-to-back);
+  // the burst span is recorded into `key.switch.cycles` when it closes. A
+  // burst still open at end of run is deliberately unrecorded — that keeps
+  // the histogram a pure function of the event stream.
+  bool burst_open_ = false;
+  uint64_t burst_first_ = 0, burst_last_ = 0;
+  unsigned burst_writes_ = 0;
+
+  // Cycle counter reconstructed from the retire feed (pre-step timestamps
+  // for the flight ring).
+  uint64_t retired_cycles_ = 0;
+
   // Hot-path counter/histogram references (resolved once; Registry
   // references are stable).
   Counter* cycles_el_[3];
   Counter* insn_el_[3];
   Counter* ops_[static_cast<size_t>(OpClass::kCount)];
   Histogram* syscall_cycles_;
+  Histogram* sign_to_auth_;
+  Histogram* key_switch_;
 };
 
 }  // namespace camo::obs

@@ -1,0 +1,172 @@
+#include "obs/flight.h"
+
+#include <cstdlib>
+
+#include "support/format.h"
+
+namespace camo::obs {
+
+std::string hex_u64(uint64_t v) {
+  return strformat("0x%llx", static_cast<unsigned long long>(v));
+}
+
+uint64_t parse_hex_u64(const json::Value& v) {
+  if (v.is_number()) return static_cast<uint64_t>(v.as_number());
+  if (!v.is_string()) return 0;
+  return std::strtoull(v.as_string().c_str(), nullptr, 0);
+}
+
+json::Value audit_event_json(const AuditEvent& e) {
+  json::Value o = json::Value::object();
+  o.set("kind", json::Value(audit_kind_name(e.kind)));
+  o.set("k", json::Value(static_cast<uint64_t>(e.kind)));
+  o.set("cycles", json::Value(hex_u64(e.cycles)));
+  o.set("pc", json::Value(hex_u64(e.pc)));
+  o.set("ptr", json::Value(hex_u64(e.ptr)));
+  o.set("ptr2", json::Value(hex_u64(e.ptr2)));
+  o.set("modifier", json::Value(hex_u64(e.modifier)));
+  o.set("lr", json::Value(hex_u64(e.lr)));
+  o.set("prov", json::Value(e.prov));
+  o.set("machine", json::Value(static_cast<uint64_t>(e.machine)));
+  o.set("key", json::Value(static_cast<uint64_t>(e.key)));
+  o.set("el", json::Value(static_cast<uint64_t>(e.el)));
+  o.set("mclass", json::Value(static_cast<uint64_t>(e.mclass)));
+  o.set("bank", json::Value(static_cast<uint64_t>(e.bank)));
+  o.set("aux", json::Value(static_cast<uint64_t>(e.aux)));
+  o.set("imm", json::Value(static_cast<uint64_t>(e.imm)));
+  return o;
+}
+
+bool audit_event_from_json(const json::Value& v, AuditEvent* out) {
+  if (!v.is_object() || !out) return false;
+  const json::Value* k = v.get("k");
+  if (!k || !k->is_number()) return false;
+  AuditEvent e;
+  e.kind = static_cast<AuditKind>(static_cast<uint8_t>(k->as_number()));
+  auto u64 = [&v](const char* name) -> uint64_t {
+    const json::Value* f = v.get(name);
+    return f ? parse_hex_u64(*f) : 0;
+  };
+  e.cycles = u64("cycles");
+  e.pc = u64("pc");
+  e.ptr = u64("ptr");
+  e.ptr2 = u64("ptr2");
+  e.modifier = u64("modifier");
+  e.lr = u64("lr");
+  e.prov = u64("prov");
+  e.machine = static_cast<uint32_t>(u64("machine"));
+  e.key = static_cast<uint8_t>(u64("key"));
+  e.el = static_cast<uint8_t>(u64("el"));
+  e.mclass = static_cast<uint8_t>(u64("mclass"));
+  e.bank = static_cast<uint8_t>(u64("bank"));
+  e.aux = static_cast<uint8_t>(u64("aux"));
+  e.imm = static_cast<uint16_t>(u64("imm"));
+  *out = e;
+  return true;
+}
+
+namespace {
+
+json::Value trace_event_json(const TraceEvent& e) {
+  json::Value o = json::Value::object();
+  o.set("kind", json::Value(static_cast<uint64_t>(e.kind)));
+  o.set("cycles", json::Value(hex_u64(e.cycles)));
+  o.set("pc", json::Value(hex_u64(e.pc)));
+  o.set("a", json::Value(hex_u64(e.a)));
+  o.set("b", json::Value(hex_u64(e.b)));
+  o.set("el", json::Value(static_cast<uint64_t>(e.el)));
+  o.set("k1", json::Value(static_cast<uint64_t>(e.k1)));
+  o.set("k2", json::Value(static_cast<uint64_t>(e.k2)));
+  o.set("imm", json::Value(static_cast<uint64_t>(e.imm)));
+  return o;
+}
+
+json::Value key_json(const FlightKey& k) {
+  json::Value o = json::Value::object();
+  o.set("lo", json::Value(hex_u64(k.lo)));
+  o.set("hi", json::Value(hex_u64(k.hi)));
+  o.set("prov", json::Value(k.prov));
+  return o;
+}
+
+json::Value snapshot_json(const FlightSnapshot& s) {
+  json::Value o = json::Value::object();
+  json::Value regs = json::Value::array();
+  for (uint64_t r : s.x) regs.push(json::Value(hex_u64(r)));
+  o.set("x", std::move(regs));
+  o.set("sp_el0", json::Value(hex_u64(s.sp_el0)));
+  o.set("sp_el1", json::Value(hex_u64(s.sp_el1)));
+  o.set("pc", json::Value(hex_u64(s.pc)));
+  o.set("el", json::Value(static_cast<uint64_t>(s.el)));
+  o.set("banked_keys", json::Value(s.banked_keys));
+  o.set("elr_el1", json::Value(hex_u64(s.elr_el1)));
+  o.set("spsr_el1", json::Value(hex_u64(s.spsr_el1)));
+  o.set("esr_el1", json::Value(hex_u64(s.esr_el1)));
+  o.set("far_el1", json::Value(hex_u64(s.far_el1)));
+  o.set("vbar_el1", json::Value(hex_u64(s.vbar_el1)));
+  o.set("sctlr_el1", json::Value(hex_u64(s.sctlr_el1)));
+  json::Value keys = json::Value::array();
+  for (const FlightKey& k : s.keys) keys.push(key_json(k));
+  o.set("keys", std::move(keys));
+  json::Value bank = json::Value::array();
+  for (const FlightKey& k : s.bank) bank.push(key_json(k));
+  o.set("bank", std::move(bank));
+  json::Value epoch = json::Value::object();
+  epoch.set("s1_gen", json::Value(s.s1_gen));
+  epoch.set("s2_gen", json::Value(s.s2_gen));
+  o.set("mmu_epoch", std::move(epoch));
+  o.set("pending_esr", json::Value(hex_u64(s.pending_esr)));
+  return o;
+}
+
+}  // namespace
+
+std::string flight_bundle_json(const FlightRecorder& rec,
+                               const std::vector<AuditEvent>& audit,
+                               const std::string& attack,
+                               const std::string& config, uint64_t seed) {
+  json::Value root = json::Value::object();
+  root.set("schema", json::Value("camo-flight/v1"));
+  json::Value scenario = json::Value::object();
+  scenario.set("attack", json::Value(attack));
+  scenario.set("config", json::Value(config));
+  scenario.set("seed", json::Value(hex_u64(seed)));
+  root.set("scenario", std::move(scenario));
+  root.set("captured", json::Value(rec.captured()));
+  root.set("triggers", json::Value(rec.triggers()));
+  if (rec.captured()) {
+    root.set("trigger", trace_event_json(rec.trigger_event()));
+    json::Value ring = json::Value::array();
+    for (const FlightInsn& in : rec.ring()) {
+      json::Value o = json::Value::object();
+      o.set("cycles", json::Value(hex_u64(in.cycles)));
+      o.set("pc", json::Value(hex_u64(in.pc)));
+      o.set("op", json::Value(static_cast<uint64_t>(in.op)));
+      o.set("el", json::Value(static_cast<uint64_t>(in.el)));
+      ring.push(std::move(o));
+    }
+    root.set("ring", std::move(ring));
+    root.set("state", snapshot_json(rec.state()));
+  }
+  json::Value evs = json::Value::array();
+  for (const AuditEvent& e : audit) evs.push(audit_event_json(e));
+  root.set("audit", std::move(evs));
+  // Causal chain of the terminal auth failure, precomputed so consumers
+  // (and humans reading the bundle) do not need the matching rules.
+  json::Value chain = json::Value::array();
+  size_t fail = audit.size();
+  for (size_t i = audit.size(); i-- > 0;) {
+    if (audit[i].kind == AuditKind::AuthFail) {
+      fail = i;
+      break;
+    }
+  }
+  if (fail < audit.size()) {
+    for (size_t idx : causal_chain(audit, fail))
+      chain.push(json::Value(static_cast<uint64_t>(idx)));
+  }
+  root.set("chain", std::move(chain));
+  return root.dump(2);
+}
+
+}  // namespace camo::obs

@@ -1,0 +1,149 @@
+// Crash flight recorder (DESIGN.md §3f).
+//
+// A black-box for the simulated machine: a fixed-size ring of the last N
+// retired instructions (pc, op-class, cycle, EL) that is always armed while
+// observability is on, plus a machine-state snapshot (general registers,
+// key banks with provenance, MMU fetch epoch, pending-exception syndrome)
+// captured automatically the first time a protection violation or attack
+// detection is observed. The capture is exportable as a self-contained
+// `camo-flight/v1` JSON bundle that embeds the scenario (attack name,
+// protection config, seed), the trigger event, the instruction ring, the
+// snapshot, the audit stream and its causal chain — everything camo-audit
+// needs to pretty-print the failure and re-execute it on a fresh Machine.
+//
+// Determinism: every field is guest-deterministic (no host clocks), and all
+// 64-bit payloads are serialized as hex strings (JSON doubles lose pointer
+// precision above 2^53), so re-running the same scenario produces a
+// byte-identical bundle — which is exactly the check camo-audit replay does.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/audit.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace camo::obs {
+
+/// One retired instruction in the flight ring.
+struct FlightInsn {
+  uint64_t cycles = 0;
+  uint64_t pc = 0;
+  uint8_t op = 0;  ///< cpu::OpClass ordinal
+  uint8_t el = 0;
+};
+
+/// One PAC key with its install provenance (see obs/audit.h).
+struct FlightKey {
+  uint64_t lo = 0, hi = 0;
+  uint64_t prov = 0;
+};
+
+/// Machine state at capture time, filled by a provider installed by
+/// kernel::Machine (the recorder itself has no CPU dependency).
+struct FlightSnapshot {
+  std::array<uint64_t, 31> x{};
+  uint64_t sp_el0 = 0, sp_el1 = 0;
+  uint64_t pc = 0;
+  uint8_t el = 0;
+  bool banked_keys = false;
+  uint64_t elr_el1 = 0, spsr_el1 = 0, esr_el1 = 0, far_el1 = 0;
+  uint64_t vbar_el1 = 0, sctlr_el1 = 0;
+  std::array<FlightKey, 5> keys{};  ///< live key registers (IA IB DA DB GA)
+  std::array<FlightKey, 5> bank{};  ///< EL2-held kernel bank (§8)
+  /// MMU fetch epoch at pc: per-map modification generations. The maps'
+  /// process-unique uids are deliberately NOT captured — they come from a
+  /// process-global counter (mem::next_map_uid), so they are host identity,
+  /// not guest state, and would break bundle bit-identity within a process.
+  uint64_t s1_gen = 0, s2_gen = 0;
+  uint64_t pending_esr = 0;  ///< syndrome of an in-flight exception
+};
+
+class FlightRecorder {
+ public:
+  using StateProvider = std::function<void(FlightSnapshot&)>;
+
+  explicit FlightRecorder(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    buf_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+  }
+
+  void set_state_provider(StateProvider p) { provider_ = std::move(p); }
+
+  /// Ring push — called per retired instruction; must stay cheap.
+  void retire(uint64_t cycles, uint64_t pc, uint8_t op, uint8_t el) {
+    if (buf_.size() < capacity_) {
+      buf_.push_back({cycles, pc, op, el});
+      return;
+    }
+    buf_[head_] = {cycles, pc, op, el};
+    head_ = (head_ + 1) % capacity_;
+  }
+
+  /// Capture on the first violation; later triggers only bump the counter
+  /// (the first capture is the causal root — cascading faults after it are
+  /// consequences, not causes).
+  void trigger(const TraceEvent& e) {
+    ++triggers_;
+    if (captured_) return;
+    captured_ = true;
+    trigger_ = e;
+    ring_.clear();
+    ring_.reserve(buf_.size());
+    for (size_t i = 0; i < buf_.size(); ++i)
+      ring_.push_back(buf_[(head_ + i) % buf_.size()]);
+    if (provider_) provider_(state_);
+  }
+
+  bool captured() const { return captured_; }
+  uint64_t triggers() const { return triggers_; }
+  const TraceEvent& trigger_event() const { return trigger_; }
+  const FlightSnapshot& state() const { return state_; }
+  /// Instruction ring frozen at capture time, oldest first.
+  const std::vector<FlightInsn>& ring() const { return ring_; }
+
+  void clear() {
+    buf_.clear();
+    ring_.clear();
+    head_ = 0;
+    triggers_ = 0;
+    captured_ = false;
+    trigger_ = TraceEvent{};
+    state_ = FlightSnapshot{};
+  }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;
+  bool captured_ = false;
+  uint64_t triggers_ = 0;
+  TraceEvent trigger_{};
+  FlightSnapshot state_{};
+  std::vector<FlightInsn> buf_;   ///< live ring
+  std::vector<FlightInsn> ring_;  ///< frozen copy at capture
+  StateProvider provider_;
+};
+
+/// Hex-string codec for 64-bit payloads ("0x1a2b..."); JSON numbers are
+/// doubles and cannot hold pointers exactly.
+std::string hex_u64(uint64_t v);
+uint64_t parse_hex_u64(const json::Value& v);
+
+/// Audit-event JSON codec (hex payloads, kind stored by ordinal + name).
+json::Value audit_event_json(const AuditEvent& e);
+bool audit_event_from_json(const json::Value& v, AuditEvent* out);
+
+/// Assemble a self-contained camo-flight/v1 replay bundle. `audit` is the
+/// full audit snapshot for the run; the causal chain of the capture's
+/// terminal auth failure (if any) is precomputed into "chain".
+std::string flight_bundle_json(const FlightRecorder& rec,
+                               const std::vector<AuditEvent>& audit,
+                               const std::string& attack,
+                               const std::string& config, uint64_t seed);
+
+}  // namespace camo::obs

@@ -18,10 +18,12 @@ std::string Registry::render_text() const {
     out += strformat("%-32s %12llu\n", name.c_str(),
                      static_cast<unsigned long long>(c.value()));
   for (const auto& [name, h] : histograms_)
-    out += strformat("%-32s n=%llu mean=%.1f min=%llu max=%llu\n",
-                     name.c_str(), static_cast<unsigned long long>(h.count()),
-                     h.mean(), static_cast<unsigned long long>(h.min()),
-                     static_cast<unsigned long long>(h.max()));
+    out += strformat(
+        "%-32s n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f min=%llu "
+        "max=%llu\n",
+        name.c_str(), static_cast<unsigned long long>(h.count()), h.mean(),
+        h.p50(), h.p95(), h.p99(), static_cast<unsigned long long>(h.min()),
+        static_cast<unsigned long long>(h.max()));
   for (const auto& [name, g] : gauges_)
     out += strformat("%-32s %14.2f\n", name.c_str(), g.value());
   return out;
@@ -40,6 +42,9 @@ std::string Registry::to_json() const {
     stats.set("min", json::Value(h.min()));
     stats.set("max", json::Value(h.max()));
     stats.set("mean", json::Value(h.mean()));
+    stats.set("p50", json::Value(h.p50()));
+    stats.set("p95", json::Value(h.p95()));
+    stats.set("p99", json::Value(h.p99()));
     json::Value buckets = json::Value::array();
     unsigned top = Histogram::kBuckets;
     while (top > 0 && h.bucket(top - 1) == 0) --top;

@@ -59,6 +59,45 @@ class Histogram {
     return i;
   }
 
+  /// Approximate quantile (q in [0,1]) from the log2 buckets: find the
+  /// bucket holding the q-th sample and interpolate linearly inside its
+  /// value range ([2^i, 2^(i+1)); bucket 0 covers [0,2)), then clamp to the
+  /// exact [min,max] envelope. Error is bounded by the bucket width, which
+  /// is what a log-bucketed histogram promises; the result is deterministic
+  /// and merge-order independent because the buckets are.
+  double quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q <= 0) return static_cast<double>(min_);
+    if (q >= 1) return static_cast<double>(max_);
+    // Rank of the target sample (1-based, "nearest-rank" rounded up).
+    const uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5) < 1
+            ? 1
+            : static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5);
+    uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
+      if (seen + buckets_[i] < rank) {
+        seen += buckets_[i];
+        continue;
+      }
+      const double lo = i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << i);
+      const double hi = static_cast<double>(
+          i >= 63 ? static_cast<double>(uint64_t{1} << 63) * 2.0
+                  : static_cast<double>(uint64_t{1} << (i + 1)));
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets_[i]);
+      double v = lo + (hi - lo) * frac;
+      if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+      if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+      return v;
+    }
+    return static_cast<double>(max_);
+  }
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
   /// Fold another histogram in (fleet merge): counts, sums and buckets add;
   /// min/max combine. Merging is commutative, so the result is independent
   /// of worker scheduling — fleets still merge in task-index order for the

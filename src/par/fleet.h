@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "kernel/machine.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
@@ -42,6 +43,11 @@ struct FleetStats {
   double imbalance = 0;       ///< max-over-mean per-worker task counts
   uint64_t guest_instret = 0; ///< total guest instructions (deterministic)
   double host_seconds = 0;    ///< summed per-machine CPU-loop wall clock
+  /// Per-task host duration distribution in microseconds (DESIGN.md §3f).
+  /// Host wall-clock, so informational like the rest of FleetStats — which
+  /// is also why it lives here and not in the merged (deterministic)
+  /// registry. Recorded in task-index order after the pool drains.
+  obs::Histogram task_us;
   /// Aggregate guest instructions per summed host second (informational).
   double throughput() const {
     return host_seconds > 0
@@ -55,6 +61,10 @@ struct FleetResult {
   std::vector<R> results;            ///< task-index order
   obs::Registry metrics;             ///< merged in task-index order
   std::vector<obs::TraceEvent> trace;  ///< rings concatenated in index order
+  /// Audit logs concatenated in task-index order; every event carries its
+  /// machine id, so the merged stream is bit-identical for any jobs value
+  /// while staying per-machine attributable.
+  std::vector<obs::AuditEvent> audit;
   FleetStats stats;
 };
 
@@ -72,6 +82,7 @@ auto run_fleet(Pool& pool, size_t n, Factory&& factory, Task&& task)
     R result{};
     obs::Registry reg;
     std::vector<obs::TraceEvent> trace;
+    std::vector<obs::AuditEvent> audit;
     uint64_t instret = 0;
     double host_seconds = 0;
     double throughput = 0;
@@ -90,6 +101,7 @@ auto run_fleet(Pool& pool, size_t n, Factory&& factory, Task&& task)
     if (const obs::Collector* st = m->stats()) {
       s.reg = st->metrics();
       s.trace = st->ring().snapshot();
+      s.audit = st->audit_log().snapshot();
       s.observed = true;
     }
   });
@@ -102,9 +114,11 @@ auto run_fleet(Pool& pool, size_t n, Factory&& factory, Task&& task)
     if (s.observed) {
       out.metrics.merge_from(s.reg);
       out.trace.insert(out.trace.end(), s.trace.begin(), s.trace.end());
+      out.audit.insert(out.audit.end(), s.audit.begin(), s.audit.end());
     }
     out.stats.guest_instret += s.instret;
     out.stats.host_seconds += s.host_seconds;
+    out.stats.task_us.record(static_cast<uint64_t>(s.host_seconds * 1e6));
   }
   out.stats.machines = n;
   out.stats.jobs = pool.jobs();

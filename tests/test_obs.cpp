@@ -401,6 +401,52 @@ TEST(Observability, ChromeTraceExportIsValidAndBalanced) {
   EXPECT_EQ(begins, ends) << "unbalanced B/E spans break trace viewers";
 }
 
+TEST(Observability, ChromeTraceRoundTripsSyntheticRing) {
+  // A hand-built ring snapshot: one syscall window containing a key write,
+  // a sign and an auth failure, then an exception window left open (as a
+  // wrapped ring would leave it) to exercise the truncation tolerance.
+  std::vector<TraceEvent> ring;
+  auto push = [&](EventKind k, uint64_t cycles) -> TraceEvent& {
+    ring.push_back(make_event(k, cycles));
+    return ring.back();
+  };
+  push(EventKind::SyscallEnter, 100).imm = 1;
+  push(EventKind::KeyWrite, 110).imm = 2;
+  // Sign events are deliberately not exported (too dense to render); the
+  // exporter must skip them without disturbing the span bookkeeping.
+  push(EventKind::PacSign, 120).a = 0xFFFF000000081000ull;
+  push(EventKind::Stage2Fault, 125).a = 0xFFFF000000090000ull;
+  push(EventKind::AuthFail, 130).pc = 0xFFFF000000082000ull;
+  push(EventKind::SyscallExit, 140).imm = 1;
+  push(EventKind::ExcEnter, 150).k1 = 1;  // still open at the end
+  const std::string text = chrome_trace_json(ring);
+  const auto doc = json::Value::parse(text);
+  ASSERT_TRUE(doc.has_value()) << "synthetic export is not valid JSON";
+  const json::Value* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->size(), 0u);
+  uint64_t begins = 0, ends = 0, instants = 0;
+  double last_ts = -1;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const json::Value& e = *events->at(i);
+    ASSERT_NE(e.get("ph"), nullptr);
+    const std::string ph = e.get("ph")->as_string();
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "i") ++instants;
+    if (ph == "M") continue;  // metadata rows carry no timestamp ordering
+    ASSERT_NE(e.get("ts"), nullptr);
+    EXPECT_GE(e.get("ts")->as_number(), last_ts)
+        << "events must stay in chronological order";
+    last_ts = e.get("ts")->as_number();
+  }
+  // The open exception window is closed at the last timestamp, so spans
+  // balance even for a truncated stream.
+  EXPECT_EQ(begins, 2u) << "syscall window + exception window";
+  EXPECT_EQ(begins, ends);
+  EXPECT_EQ(instants, 3u) << "key write, stage-2 fault, auth failure";
+}
+
 TEST(Observability, DisabledMachineHasNoCollector) {
   kernel::MachineConfig cfg;
   cfg.kernel.protection = compiler::ProtectionConfig::full();

@@ -238,6 +238,69 @@ TEST(PerfDiff, FleetSeriesAreInformationalRegardlessOfUnit) {
   EXPECT_FALSE(diff({base}, {drift}, {}).ok);
 }
 
+TEST(PerfDiff, HistogramSeriesAreInformationalRegardlessOfUnit) {
+  // Quantiles summarize distributions whose exact shape shifts with any
+  // instrumentation change; they inform, they never gate.
+  EXPECT_TRUE(series_is_informational("hist.pauth.sign_to_auth.p50"));
+  EXPECT_TRUE(series_is_informational("hist.key.switch.p99"));
+  EXPECT_TRUE(series_is_informational("hist.task.count"));
+  EXPECT_FALSE(series_is_informational("histogram.other"));
+  EXPECT_TRUE(unit_is_informational("ops/s"));
+  EXPECT_TRUE(unit_is_informational("ns/op"));
+
+  const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op"),
+                                pt("full", "hist.sign.p99", 40, "cycles")});
+  const auto cur = doc("Fig", {pt("full", "read", 1000, "cycles/op"),
+                               pt("full", "hist.sign.p99", 400, "cycles")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_TRUE(rep.ok) << rep.markdown();
+  ASSERT_EQ(rep.deltas.size(), 2u);
+  EXPECT_EQ(rep.deltas[1].status, Status::Info);
+}
+
+TEST(PerfDiff, MarkdownReportsRunHeaders) {
+  // diff() refuses cross-jobs comparisons, so both sides record jobs=8.
+  auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
+  base.jobs = 8;
+  auto cur = base;
+  cur.sb = false;
+  const auto rep = diff({base}, {cur}, {});
+  ASSERT_EQ(rep.headers.size(), 1u);
+  EXPECT_EQ(rep.headers[0].bench, "Fig");
+  EXPECT_EQ(rep.headers[0].jobs, 8u);
+  EXPECT_FALSE(rep.headers[0].sb);
+  const std::string md = rep.markdown();
+  EXPECT_NE(md.find("jobs=8"), std::string::npos) << md;
+  EXPECT_NE(md.find("engine=interpreter"), std::string::npos) << md;
+
+  auto base2 = base;
+  base2.jobs = 2;
+  const std::string md2 = diff({base2}, {base2}, {}).markdown();
+  EXPECT_NE(md2.find("jobs=2"), std::string::npos) << md2;
+  EXPECT_NE(md2.find("engine=superblocks"), std::string::npos) << md2;
+}
+
+TEST(PerfDiff, SbHeaderFieldValidatesAndParses) {
+  const std::string text = R"({"schema":"camo-bench/v1","bench":"b",)"
+                           R"("title":"t","smoke":true,"jobs":4,"sb":false,)"
+                           R"("series":[{"config":"c","benchmark":"m",)"
+                           R"("value":1,"unit":"cycles"}]})";
+  const auto parsed = obs::json::Value::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(obs::validate_bench_json(*parsed), "");
+  const auto d = obs::parse_bench_doc(*parsed, nullptr);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->jobs, 4u);
+  EXPECT_FALSE(d->sb);
+
+  // Absent "sb" means the default engine; a non-bool "sb" is rejected.
+  const std::string bad = R"({"schema":"camo-bench/v1","bench":"b",)"
+                          R"("title":"t","smoke":true,"sb":1,"series":[]})";
+  const auto parsed_bad = obs::json::Value::parse(bad);
+  ASSERT_TRUE(parsed_bad.has_value());
+  EXPECT_NE(obs::validate_bench_json(*parsed_bad), "");
+}
+
 TEST(PerfDiff, RefusesCrossJobsComparison) {
   auto base = doc("Fleet", {pt("download", "guest cycles", 1000, "cycles")});
   auto cur = base;

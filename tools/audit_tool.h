@@ -1,0 +1,36 @@
+// camo-audit: inspect and replay camo-flight/v1 crash bundles.
+//
+// Three commands, one per stage of a security post-mortem:
+//   print  <bundle>   pretty-print the scenario, the audit stream with the
+//                     causal chain of the terminal auth failure highlighted,
+//                     the instruction ring tail and the state snapshot;
+//   record --attack A --config C -o <bundle>
+//                     run one named attack (attacks::run_named_attack) with
+//                     flight capture and write its bundle;
+//   replay <bundle>   re-execute the bundle's scenario on a fresh Machine
+//                     and verify the fresh bundle is bit-for-bit identical
+//                     (same violation PC, cycle counts, audit causal chain)
+//                     — the determinism check DESIGN.md §3f promises.
+//
+// The command implementations live in a small library so tests can drive
+// them in-process; camo_audit_main.cpp is a thin argv shim.
+#pragma once
+
+#include <string>
+
+namespace camo::audit_tool {
+
+int cmd_print(const std::string& bundle_path);
+int cmd_record(const std::string& attack, const std::string& config,
+               const std::string& out_path);
+int cmd_replay(const std::string& bundle_path);
+
+/// Parse `text` as JSON and re-dump it in canonical form (2-space indent,
+/// sorted-insertion order preserved). Returns empty and sets `error` when
+/// the text is not valid JSON. Replay compares canonical forms so trailing
+/// whitespace or newline differences cannot mask (or fake) a mismatch.
+std::string canonical_bundle(const std::string& text, std::string* error);
+
+const char* usage();
+
+}  // namespace camo::audit_tool

@@ -1,0 +1,38 @@
+// camo-audit CLI shim; the commands live in audit_tool.cpp so tests can
+// drive them in-process. See audit_tool.h for the command reference.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "audit_tool.h"
+
+int main(int argc, char** argv) {
+  using namespace camo::audit_tool;
+  if (argc < 2) {
+    std::fputs(usage(), stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "print" && argc == 3) return cmd_print(argv[2]);
+  if (cmd == "replay" && argc == 3) return cmd_replay(argv[2]);
+  if (cmd == "record") {
+    std::string attack, config, out;
+    for (int i = 2; i + 1 < argc; i += 2) {
+      const std::string flag = argv[i];
+      if (flag == "--attack") attack = argv[i + 1];
+      else if (flag == "--config") config = argv[i + 1];
+      else if (flag == "-o" || flag == "--out") out = argv[i + 1];
+      else {
+        std::fprintf(stderr, "camo-audit: unknown flag %s\n", flag.c_str());
+        return 2;
+      }
+    }
+    if (attack.empty() || config.empty() || out.empty()) {
+      std::fputs(usage(), stderr);
+      return 2;
+    }
+    return cmd_record(attack, config, out);
+  }
+  std::fputs(usage(), stderr);
+  return 2;
+}

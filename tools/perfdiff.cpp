@@ -32,8 +32,8 @@ bool unit_is_cost(const std::string& unit) {
 bool unit_is_informational(const std::string& unit) {
   // Host-throughput series and anything explicitly host-suffixed. Wall-clock
   // units are cost-shaped but host-dependent, so they are informational too.
-  if (unit == "insns/s" || unit == "s" || unit == "seconds" || unit == "ns" ||
-      unit == "us" || unit == "ms")
+  if (unit == "insns/s" || unit == "ops/s" || unit == "ns/op" || unit == "s" ||
+      unit == "seconds" || unit == "ns" || unit == "us" || unit == "ms")
     return true;
   static const std::string kSuffix = "-host";
   return unit.size() >= kSuffix.size() &&
@@ -44,7 +44,9 @@ bool unit_is_informational(const std::string& unit) {
 bool series_is_informational(const std::string& benchmark) {
   // par::run_fleet scheduler telemetry: steal counts, imbalance and
   // aggregate throughput depend on host scheduling, never on the simulation.
-  return benchmark.rfind("fleet.", 0) == 0;
+  // Histogram quantile families (bench::Session::add_histogram) are
+  // distribution shape: informational by construction.
+  return benchmark.rfind("fleet.", 0) == 0 || benchmark.rfind("hist.", 0) == 0;
 }
 
 namespace {
@@ -98,6 +100,13 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
   flatten(current, cur_vals, cur_order);
 
   Report rep;
+  // Record each current bench's run conditions for the report header
+  // (first document wins; the jobs check above already rejected mixes).
+  for (const obs::BenchDoc& doc : current) {
+    bool seen = false;
+    for (const Report::RunHeader& h : rep.headers) seen |= h.bench == doc.bench;
+    if (!seen) rep.headers.push_back({doc.bench, doc.jobs, doc.sb});
+  }
   for (const Key& k : base_order) {
     Delta d;
     std::tie(d.bench, d.config, d.benchmark, d.unit) = k;
@@ -161,7 +170,12 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
 
 std::string Report::markdown() const {
   if (!error.empty()) return "FAIL: " + error + "\n";
-  std::string out =
+  std::string out;
+  for (const RunHeader& h : headers)
+    out += strformat("- `%s`: jobs=%u, engine=%s\n", h.bench.c_str(), h.jobs,
+                     h.sb ? "superblocks" : "interpreter");
+  if (!headers.empty()) out += "\n";
+  out +=
       "| series | unit | baseline | current | delta | status |\n"
       "|---|---|---:|---:|---:|---|\n";
   for (const Delta& d : deltas) {

@@ -66,7 +66,9 @@ bool unit_is_cost(const std::string& unit);
 /// diff().
 bool unit_is_informational(const std::string& unit);
 /// True for benchmark names that are report-only regardless of unit:
-/// "fleet."-prefixed scheduler telemetry (steals, imbalance, throughput).
+/// "fleet."-prefixed scheduler telemetry (steals, imbalance, throughput)
+/// and "hist."-prefixed histogram quantiles (distribution shape — p50/p95/
+/// p99 move with workload composition, so they inform, never gate).
 bool series_is_informational(const std::string& benchmark);
 
 struct Delta {
@@ -78,6 +80,15 @@ struct Delta {
 };
 
 struct Report {
+  /// One line per bench in the current set: the run conditions its document
+  /// header recorded (--jobs, superblock engine). Printed at the top of
+  /// markdown() so a report is interpretable without opening the JSON.
+  struct RunHeader {
+    std::string bench;
+    unsigned jobs = 1;
+    bool sb = true;
+  };
+  std::vector<RunHeader> headers;
   std::vector<Delta> deltas;  ///< baseline order, then new series
   int regressed = 0;          ///< Regressed + Changed
   int improved = 0;
