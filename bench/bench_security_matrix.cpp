@@ -68,14 +68,19 @@ int main(int argc, char** argv) {
   // is the default.
   const size_t ncfg = session.smoke() ? 3 : 4;
 
+  // Every attack machine also collects a PA-keyed execution coverage map
+  // (DESIGN.md §3g); the knob is process-wide and must be set before the
+  // fleet spawns workers.
+  attacks::collect_coverage() = true;
+
   // Every cell of the matrix — and every one-off attack below it — boots
   // its own machine; all are independent, so the whole sweep is computed
   // through the session's work-stealing fleet first and printed serially
   // afterwards in the original row-major order. stdout and the emitted
   // JSON are byte-identical to the serial code at any --jobs value.
   const size_t nrows = std::size(attack_rows);
-  const auto outcomes = session.fleet(nrows * ncfg, [&](size_t t) {
-    return attack_rows[t / ncfg].fn(cfgs[t % ncfg].prot).outcome;
+  const auto reports = session.fleet(nrows * ncfg, [&](size_t t) {
+    return attack_rows[t / ncfg].fn(cfgs[t % ncfg].prot);
   });
 
   ProtectionConfig zero = ProtectionConfig::full();
@@ -109,7 +114,7 @@ int main(int argc, char** argv) {
     const auto& a = attack_rows[ri];
     std::printf("%-38s", a.name);
     for (size_t ci = 0; ci < ncfg; ++ci) {
-      const Outcome o = outcomes[ri * ncfg + ci];
+      const Outcome o = reports[ri * ncfg + ci].outcome;
       std::printf(" %-12s", attacks::outcome_name(o));
       session.add(cfgs[ci].name, a.name, static_cast<double>(o),
                   "outcome (0=hijacked 1=detected 2=blocked)");
@@ -198,6 +203,35 @@ int main(int argc, char** argv) {
   std::printf("\n(Camouflage is bypassed only by same-function/same-SP "
               "replay, which the paper acknowledges as residual: 'the "
               "function address does not completely prevent reuse'.)\n");
+
+  // Execution coverage (§3g): merge each configuration's column of attack
+  // runs in row order — deterministic at any --jobs — then fold the one-off
+  // runs into the overall map. The cov.* series is informational
+  // (camo-perfdiff never gates on it); --cov additionally writes the merged
+  // camo-cov/v1 bundle that `camo-cov report` consumes.
+  std::printf("\nexecution coverage per configuration (informational):\n");
+  obs::CoverageMap all_cov;
+  uint64_t cov_machines = 0;
+  for (size_t ci = 0; ci < ncfg; ++ci) {
+    obs::CoverageMap cfg_cov;
+    for (size_t ri = 0; ri < nrows; ++ri) {
+      const auto& cov = reports[ri * ncfg + ci].coverage;
+      if (!cov) continue;
+      cfg_cov.merge_from(*cov);
+      ++cov_machines;
+    }
+    session.add_coverage(cfgs[ci].name, cfg_cov);
+    all_cov.merge_from(cfg_cov);
+  }
+  for (const AttackReport& r : extras)
+    if (r.coverage) {
+      all_cov.merge_from(*r.coverage);
+      ++cov_machines;
+    }
+  if (!session.cov_path().empty() &&
+      !bench::Session::write_coverage_bundle(session.cov_path(), all_cov,
+                                             "security-matrix", cov_machines))
+    return 1;
 
   // --flight-rec: run the forged-return attack once more with flight-bundle
   // capture and write the camo-flight/v1 replay bundle — the producer side

@@ -31,5 +31,18 @@ int main(int argc, char** argv) {
     s.add(cfg, "kernel PAC width", kern, "bits");
     s.add(cfg, "user PAC width", user, "bits");
   }
+
+  // Shared-helper throughput series (the measured loop is pure host code —
+  // no Machine — so this bench uses the host-side sibling of
+  // emit_throughput_series like bench_qarma does).
+  constexpr uint64_t kOps = 2'000'000;
+  volatile unsigned sink = 0;
+  camo::bench::emit_host_throughput_series(s, "pac_width", kOps, [&] {
+    VaLayout l;
+    for (uint64_t i = 0; i < kOps; ++i) {
+      l.va_bits = 32 + (i % 21);
+      sink = sink + l.pac_width((i & 1) ? uint64_t{1} << 55 : 0);
+    }
+  });
   return s.finish();
 }

@@ -10,8 +10,8 @@
 // Every bench binary drives a bench::Session, which
 //   * prints the figure header,
 //   * parses the shared flags (--json <path>, --smoke, --trace <path>,
-//     --folded <path>, --seed <u64>, --jobs <n>, --sb on|off) and compacts
-//     them out of argv so
+//     --folded <path>, --seed <u64>, --jobs <n>, --sb on|off, --cov <path>)
+//     and compacts them out of argv so
 //     binaries with their own flag parsing (bench_qarma) still work; a
 //     value-taking flag with a missing or malformed value is a hard error
 //     (exit 2), never silently dropped,
@@ -38,6 +38,7 @@
 #include "compiler/instrument.h"
 #include "kernel/machine.h"
 #include "obs/bench_schema.h"
+#include "obs/coverage.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "par/pool.h"
@@ -203,6 +204,9 @@ class Session {
     /// --flight-rec <path>: where a bench that runs attacks writes the
     /// camo-flight/v1 replay bundle of its first captured violation.
     std::string flight_rec_path;
+    /// --cov <path>: where a coverage-collecting bench writes its merged
+    /// camo-cov/v1 execution-coverage bundle (DESIGN.md §3g).
+    std::string cov_path;
     std::optional<uint64_t> seed;
     bool smoke = false;
     /// --sb on|off: session-wide gate for the superblock engine, ANDed with
@@ -263,6 +267,8 @@ class Session {
       if (take_value("--folded", out.folded_path, matched)) continue;
       if (matched) break;
       if (take_value("--flight-rec", out.flight_rec_path, matched)) continue;
+      if (matched) break;
+      if (take_value("--cov", out.cov_path, matched)) continue;
       if (matched) break;
       if (take_value("--seed", seed_text, matched)) {
         char* end = nullptr;
@@ -342,6 +348,7 @@ class Session {
   const std::string& trace_path() const { return flags_.trace_path; }
   const std::string& folded_path() const { return flags_.folded_path; }
   const std::string& flight_rec_path() const { return flags_.flight_rec_path; }
+  const std::string& cov_path() const { return flags_.cov_path; }
   unsigned jobs() const { return flags_.jobs; }
 
   /// The session's work-stealing pool, sized by --jobs / CAMO_JOBS
@@ -394,6 +401,55 @@ class Session {
     add(config, base + ".p95", h.p95(), unit);
     add(config, base + ".p99", h.p99(), unit);
     add(config, base + ".count", static_cast<double>(h.count()), "count");
+  }
+
+  /// Emit a (flushed) coverage map as cov.* series points — block/edge
+  /// counts and per-EL retire counters — and print the summary line. The
+  /// "cov." benchmark prefix marks the family informational to
+  /// camo-perfdiff: coverage shape is diagnostic signal, not a perf gate,
+  /// and the retire counters are already pinned by the determinism tests.
+  void add_coverage(const std::string& config, const obs::CoverageMap& cov) {
+    const obs::CoverageMap m = cov.snapshot();
+    std::printf("  %-12s coverage: %llu blocks, %llu edges, retired "
+                "el0=%llu el1=%llu\n",
+                config.c_str(),
+                static_cast<unsigned long long>(m.unique_blocks()),
+                static_cast<unsigned long long>(m.unique_edges()),
+                static_cast<unsigned long long>(m.retired_at(0)),
+                static_cast<unsigned long long>(m.retired_at(1)));
+    add(config, "cov.blocks", static_cast<double>(m.unique_blocks()), "count");
+    add(config, "cov.edges", static_cast<double>(m.unique_edges()), "count");
+    add(config, "cov.retired.el0", static_cast<double>(m.retired_at(0)),
+        "count");
+    add(config, "cov.retired.el1", static_cast<double>(m.retired_at(1)),
+        "count");
+  }
+
+  /// Write a camo-cov/v1 bundle to `path` and re-validate it, mirroring
+  /// finish()'s self-check. Returns false (after printing the error) when
+  /// the file cannot be written or fails validation.
+  static bool write_coverage_bundle(const std::string& path,
+                                    const obs::CoverageMap& cov,
+                                    const std::string& label,
+                                    uint64_t machines) {
+    const std::string text = obs::cov_bundle_json(cov, label, machines);
+    {
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cov: cannot write %s\n", path.c_str());
+        return false;
+      }
+      out << text << "\n";
+    }
+    const auto doc = obs::json::Value::parse(text);
+    const std::string err = doc ? obs::validate_cov_bundle(*doc)
+                                : "emitted bundle does not parse";
+    if (!err.empty()) {
+      std::fprintf(stderr, "cov: emitted bundle invalid: %s\n", err.c_str());
+      return false;
+    }
+    std::printf("[coverage bundle -> %s]\n", path.c_str());
+    return true;
   }
 
   /// Write the side artifacts and return the process exit code: non-zero if

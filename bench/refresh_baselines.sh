@@ -14,11 +14,13 @@
 # one bench whose *sampling* (not timing) uses an RNG.
 #
 # Informational units ("insns/s" host throughput, wall-clock "s"/"ns"/"us"/
-# "ms", "*-host") and "fleet."-prefixed scheduler-telemetry series are
+# "ms", "*-host") and the informational series families — "fleet."
+# scheduler telemetry, "hist." histogram quantiles, and "cov."/"div."
+# execution-coverage and divergence counters (DESIGN.md §3g) — are
 # recorded in the baselines for reference but are NEVER gated: camo-perfdiff
 # prints them with the "info" status and excludes them from the
-# regressed/missing/new counts, because they measure the host machine, not
-# the simulated guest.
+# regressed/missing/new counts, because they measure the host machine or
+# diagnostic execution shape, not simulated guest performance.
 #
 # --jobs is pinned to 1: baselines must be byte-stable, and camo-perfdiff
 # refuses to compare documents recorded at different --jobs values. A

@@ -51,6 +51,11 @@ bool Attacker::write(uint64_t va, uint64_t value) {
   return true;
 }
 
+bool& collect_coverage() {
+  static bool flag = false;
+  return flag;
+}
+
 // ---------------------------------------------------------------------------
 // Outcome classification
 // ---------------------------------------------------------------------------
@@ -66,6 +71,7 @@ MachineConfig machine_config(const ProtectionConfig& prot,
   // Attack runs always trace: reports cross-check the guest-side failure
   // counter against the AuthFail events the CPU emitted.
   cfg.obs.enabled = true;
+  cfg.obs.coverage = collect_coverage();
   return cfg;
 }
 
@@ -102,6 +108,8 @@ void record_outcome(Machine& m, AttackReport& r) {
   a.el = 1;
   a.aux = static_cast<uint8_t>(r.outcome);
   st->audit(a);
+  if (st->options().coverage)
+    r.coverage = std::make_shared<obs::CoverageMap>(st->coverage().snapshot());
   if (g_flight_ctx.out) {
     *g_flight_ctx.out = obs::flight_bundle_json(
         st->flight(), st->audit_log().snapshot(), g_flight_ctx.attack,

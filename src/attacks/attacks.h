@@ -15,12 +15,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "compiler/instrument.h"
 #include "kernel/machine.h"
+#include "obs/coverage.h"
 
 namespace camo::attacks {
 
@@ -37,7 +39,17 @@ struct AttackReport {
   /// AuthFail events observed in the machine's trace ring — the obs-side
   /// view of the same failures the guest counts in pac_fail_count.
   uint64_t trace_auth_failures = 0;
+  /// Execution coverage of the attack run (null unless collect_coverage()
+  /// was set before the run). Shared so reports stay cheap to copy.
+  std::shared_ptr<obs::CoverageMap> coverage;
 };
+
+/// Process-wide knob: when set, every attack Machine also collects PA-keyed
+/// execution coverage (obs/coverage.h) and each AttackReport carries its
+/// map. Default off — the per-retirement feed costs a map probe, so only
+/// coverage consumers (bench_security_matrix --cov, camo-cov) enable it.
+/// Set it before spawning fleet workers; reads are unsynchronized.
+bool& collect_coverage();
 
 /// The threat-model memory primitive (kernel-level read/write that cannot
 /// bypass stage-2 protections or read XOM).

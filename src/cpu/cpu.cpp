@@ -601,6 +601,7 @@ bool Cpu::step_impl() {
                         : isa::decode(mmu_->phys().read32(xlat.pa));
   if (trace_) trace_(*this, iaddr, inst);
   if (attr_) step_op_class_ = op_class(inst.op);
+  const uint8_t cov_el = static_cast<uint8_t>(pstate.el);
 
   pc = iaddr + 4;
   execute(inst);
@@ -608,6 +609,7 @@ bool Cpu::step_impl() {
   cycles_ += cfg_.enable_cycle_model ? cycle_cost(inst) : 1;
   ++instret_;
   ++op_counts_[static_cast<size_t>(inst.op)];
+  if (cov_) cov_->retire(xlat.pa, iaddr, cov_el);
   return !halted_;
 }
 

@@ -26,6 +26,7 @@
 #include "isa/isa.h"
 #include "mem/mmu.h"
 #include "obs/audit.h"
+#include "obs/coverage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -241,6 +242,12 @@ class Cpu {
   /// emission; attaching a sink never changes simulated cycle counts.
   void set_audit_sink(obs::AuditSink* s) { audit_ = s; }
   obs::AuditSink* audit_sink() const { return audit_; }
+  /// Execution coverage feed (obs/coverage.h): fed (pa, va, el) per retired
+  /// instruction from both the single-step path and the superblock engine,
+  /// so the map is engine-invariant. Null (the default) disables emission;
+  /// attaching a map never changes simulated cycle counts.
+  void set_coverage(obs::CoverageMap* c) { cov_ = c; }
+  obs::CoverageMap* coverage() const { return cov_; }
 
   /// Coarse class of an opcode for per-class retired-op metrics.
   static obs::OpClass op_class(isa::Op op);
@@ -372,6 +379,7 @@ class Cpu {
   obs::CycleAttributor* attr_ = nullptr;
   obs::CfSink* cf_ = nullptr;
   obs::AuditSink* audit_ = nullptr;
+  obs::CoverageMap* cov_ = nullptr;
   obs::OpClass step_op_class_ = obs::OpClass::Other;  // scratch, set per step
 
   // Key provenance (obs/audit.h): a monotonically increasing install id per

@@ -135,7 +135,7 @@ uint64_t SuperblockEngine::execute(Cpu& cpu, uint64_t budget) {
       if (cpu.trace_) cpu.trace_(cpu, va, e.inst);  // pc still == va here
       uint64_t c0 = 0;
       uint8_t el0 = 0;
-      if (cpu.attr_ != nullptr) {
+      if (cpu.attr_ != nullptr || cpu.cov_ != nullptr) {
         c0 = cpu.cycles_;
         el0 = static_cast<uint8_t>(cpu.pstate.el);
       }
@@ -146,6 +146,8 @@ uint64_t SuperblockEngine::execute(Cpu& cpu, uint64_t budget) {
       ++cpu.op_counts_[static_cast<size_t>(e.inst.op)];
       if (cpu.attr_ != nullptr && cpu.cycles_ != c0)
         cpu.attr_->retire(va, el0, e.op_class, cpu.cycles_ - c0);
+      if (cpu.cov_ != nullptr)
+        cpu.cov_->retire(blk->pa_start + (va - blk->va_start), va, el0);
       ++consumed;
 
       if (consumed == budget) {

@@ -1,6 +1,8 @@
 #include "kernel/machine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "compiler/instrument.h"
 #include "support/error.h"
@@ -110,38 +112,17 @@ void Machine::attach_observability() {
   cpu_.set_audit_sink(stats_.get());
   hv_.set_audit_sink(stats_.get());
   // Flight-recorder state provider: fills the machine-state snapshot at
-  // capture time. Everything read here is guest-deterministic.
-  stats_->flight().set_state_provider([this](obs::FlightSnapshot& s) {
-    using isa::SysReg;
-    for (unsigned i = 0; i < 31; ++i) s.x[i] = cpu_.x(i);
-    s.sp_el0 = cpu_.sp_el(mem::El::El0);
-    s.sp_el1 = cpu_.sp_el(mem::El::El1);
-    s.pc = cpu_.pc;
-    s.el = static_cast<uint8_t>(cpu_.pstate.el);
-    s.banked_keys = cpu_.config().banked_keys;
-    s.elr_el1 = cpu_.sysreg(SysReg::ELR_EL1);
-    s.spsr_el1 = cpu_.sysreg(SysReg::SPSR_EL1);
-    s.esr_el1 = cpu_.sysreg(SysReg::ESR_EL1);
-    s.far_el1 = cpu_.sysreg(SysReg::FAR_EL1);
-    s.vbar_el1 = cpu_.sysreg(SysReg::VBAR_EL1);
-    s.sctlr_el1 = cpu_.sysreg(SysReg::SCTLR_EL1);
-    s.pending_esr = s.esr_el1;  // last syndrome delivered to EL1
-    for (unsigned k = 0; k < 5; ++k) {
-      const auto key = static_cast<cpu::PacKey>(k);
-      s.keys[k].lo = cpu_.sysreg(static_cast<SysReg>(k * 2));
-      s.keys[k].hi = cpu_.sysreg(static_cast<SysReg>(k * 2 + 1));
-      s.keys[k].prov = cpu_.sysreg_key_provenance(key);
-      const qarma::Key128& b = cpu_.kernel_bank_key(key);
-      s.bank[k].lo = b.k0;
-      s.bank[k].hi = b.w0;
-      s.bank[k].prov = cpu_.bank_key_provenance(key);
-    }
-    const mem::Mmu::FetchEpoch ep = mmu_.fetch_epoch(cpu_.pc);
-    // Map uids are process-global host identity (ABA bookkeeping), not
-    // guest state: only the deterministic generations go into the bundle.
-    s.s1_gen = ep.s1_gen;
-    s.s2_gen = ep.s2_gen;
-  });
+  // capture time. Everything read there is guest-deterministic.
+  stats_->flight().set_state_provider(
+      [this](obs::FlightSnapshot& s) { fill_snapshot(s); });
+
+  // Execution coverage (DESIGN.md §3g): attach the PA-keyed map and
+  // annotate it with kernel functions + protected-table rows so report
+  // tooling can list never-executed rows.
+  if (cfg_.obs.coverage) {
+    cpu_.set_coverage(&stats_->coverage());
+    annotate_coverage_regions();
+  }
 
   if (cfg_.obs.profile || cfg_.obs.callgraph) {
     const auto add_region = [&](const std::string& name, uint64_t start,
@@ -177,6 +158,103 @@ void Machine::attach_observability() {
           c->emit(e);
         });
   }
+}
+
+void Machine::fill_snapshot(obs::FlightSnapshot& s) const {
+  using isa::SysReg;
+  for (unsigned i = 0; i < 31; ++i) s.x[i] = cpu_.x(i);
+  s.sp_el0 = cpu_.sp_el(mem::El::El0);
+  s.sp_el1 = cpu_.sp_el(mem::El::El1);
+  s.pc = cpu_.pc;
+  s.el = static_cast<uint8_t>(cpu_.pstate.el);
+  s.banked_keys = cpu_.config().banked_keys;
+  s.elr_el1 = cpu_.sysreg(SysReg::ELR_EL1);
+  s.spsr_el1 = cpu_.sysreg(SysReg::SPSR_EL1);
+  s.esr_el1 = cpu_.sysreg(SysReg::ESR_EL1);
+  s.far_el1 = cpu_.sysreg(SysReg::FAR_EL1);
+  s.vbar_el1 = cpu_.sysreg(SysReg::VBAR_EL1);
+  s.sctlr_el1 = cpu_.sysreg(SysReg::SCTLR_EL1);
+  s.pending_esr = s.esr_el1;  // last syndrome delivered to EL1
+  for (unsigned k = 0; k < 5; ++k) {
+    const auto key = static_cast<cpu::PacKey>(k);
+    s.keys[k].lo = cpu_.sysreg(static_cast<SysReg>(k * 2));
+    s.keys[k].hi = cpu_.sysreg(static_cast<SysReg>(k * 2 + 1));
+    s.keys[k].prov = cpu_.sysreg_key_provenance(key);
+    const qarma::Key128& b = cpu_.kernel_bank_key(key);
+    s.bank[k].lo = b.k0;
+    s.bank[k].hi = b.w0;
+    s.bank[k].prov = cpu_.bank_key_provenance(key);
+  }
+  const mem::Mmu::FetchEpoch ep = mmu_.fetch_epoch(cpu_.pc);
+  // Map uids are process-global host identity (ABA bookkeeping), not
+  // guest state: only the deterministic generations go into the bundle.
+  s.s1_gen = ep.s1_gen;
+  s.s2_gen = ep.s2_gen;
+}
+
+void Machine::annotate_coverage_regions() {
+  const obj::Image& img = boot_->kernel_image;
+  obs::CoverageMap& cov = stats_->coverage();
+  // Host-level fetch translation of a kernel text/rodata VA.
+  const auto pa_of = [&](uint64_t va, uint64_t* pa) {
+    const auto t = mmu_.translate(va, mem::Access::Fetch, mem::El::El2);
+    if (t.fault != mem::FaultKind::None) return false;
+    *pa = t.pa;
+    return true;
+  };
+  // One region per physically-contiguous chunk of [va, va+size); the map is
+  // PA-keyed, so a function split across non-adjacent frames yields several
+  // regions under the same label.
+  const auto add_fn = [&](const std::string& label, uint64_t va, uint64_t size,
+                          const std::string& table, int row) {
+    const uint64_t end = va + size;
+    while (va < end) {
+      uint64_t pa = 0;
+      if (!pa_of(va, &pa)) return;
+      uint64_t len = std::min<uint64_t>(end - va, 0x1000 - (va & 0xFFF));
+      while (va + len < end) {
+        uint64_t pn = 0;
+        if (!pa_of(va + len, &pn) || pn != pa + len) break;
+        len += std::min<uint64_t>(end - (va + len), 0x1000);
+      }
+      cov.add_region({label, pa, len, table, row});
+      va += len;
+    }
+  };
+
+  // Kernel functions, in name order (deterministic region list regardless
+  // of the symbol table's hash order).
+  std::vector<std::pair<std::string, uint64_t>> fns(img.function_sizes.begin(),
+                                                    img.function_sizes.end());
+  std::sort(fns.begin(), fns.end());
+  for (const auto& [name, size] : fns) add_fn(name, img.symbol(name), size, "", -1);
+
+  // Protected-table rows: resolve each (unsigned .rodata, §4.4) function
+  // pointer back to its owning function so `camo-cov report` can list rows
+  // an attack or workload never reached.
+  const auto owner_of =
+      [&](uint64_t ptr) -> const std::pair<std::string, uint64_t>* {
+    for (const auto& f : fns) {
+      const uint64_t fva = img.symbol(f.first);
+      if (ptr >= fva && ptr < fva + f.second) return &f;
+    }
+    return nullptr;
+  };
+  const auto annotate_table = [&](const std::string& table, size_t rows) {
+    if (!img.has_symbol(table)) return;
+    const uint64_t base = img.symbol(table);
+    for (size_t i = 0; i < rows; ++i) {
+      const uint64_t ptr = read_u64(base + 8 * i);
+      const auto* f = owner_of(ptr);
+      if (f == nullptr) continue;
+      add_fn(strformat("%s[%zu]:%s", table.c_str(), i, f->first.c_str()),
+             img.symbol(f->first), f->second, table, static_cast<int>(i));
+    }
+  };
+  annotate_table("syscall_table", static_cast<size_t>(Sys::kCount));
+  annotate_table("hook_registry", 2);
+  for (const char* fops : {"null_fops", "ram_fops", "con_fops"})
+    annotate_table(fops, 2);
 }
 
 bool Machine::run(uint64_t max_steps) {

@@ -85,6 +85,7 @@ class Machine {
 
   // ---- component access ----
   cpu::Cpu& cpu() { return cpu_; }
+  const cpu::Cpu& cpu() const { return cpu_; }
   mem::Mmu& mmu() { return mmu_; }
   hyp::Hypervisor& hyp() { return hv_; }
   const core::BootResult& boot_result() const { return *boot_; }
@@ -94,6 +95,13 @@ class Machine {
   /// only when MachineConfig::obs.enabled was set before boot().
   obs::Collector* stats() { return stats_.get(); }
   const obs::Collector* stats() const { return stats_.get(); }
+
+  /// Fill a flight snapshot with the current architectural state (registers,
+  /// PSTATE, key banks with provenance, MMU fetch-epoch generations).
+  /// Everything read is guest-deterministic; works with observability off.
+  /// This is both the flight recorder's state provider and the divergence
+  /// bisector's digest source (obs/digest.h).
+  void fill_snapshot(obs::FlightSnapshot& s) const;
 
   // ---- guest state inspection / manipulation (host-side) ----
   uint64_t kernel_symbol(const std::string& name) const;
@@ -112,6 +120,7 @@ class Machine {
 
  private:
   void attach_observability();
+  void annotate_coverage_regions();
 
   MachineConfig cfg_;
   mem::PhysicalMemory pm_;

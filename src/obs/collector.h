@@ -24,6 +24,7 @@
 
 #include "obs/audit.h"
 #include "obs/callgraph.h"
+#include "obs/coverage.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -42,6 +43,10 @@ struct Options {
   bool callgraph = true;  ///< attach the shadow-call-stack profiler too
   size_t audit_capacity = 8192;  ///< AuditLog capacity (events)
   size_t flight_capacity = 256;  ///< flight-recorder ring (instructions)
+  /// Attach the PA-keyed execution coverage map (obs/coverage.h). Off by
+  /// default: the per-retirement feed costs a map probe, so only coverage
+  /// consumers (bench --cov, security matrix, camo-cov) pay for it.
+  bool coverage = false;
 };
 
 class Collector : public TraceSink,
@@ -74,6 +79,10 @@ class Collector : public TraceSink,
   const FlightRecorder& flight() const { return flight_; }
   Profiler& profiler() { return prof_; }
   const Profiler& profiler() const { return prof_; }
+  /// Execution coverage map; only fed when options().coverage is set (the
+  /// Machine attaches it to the CPU at boot).
+  CoverageMap& coverage() { return cov_; }
+  const CoverageMap& coverage() const { return cov_; }
   CallGraphProfiler& callgraph() { return cg_; }
   const CallGraphProfiler& callgraph() const { return cg_; }
   const Options& options() const { return opts_; }
@@ -96,6 +105,7 @@ class Collector : public TraceSink,
   FlightRecorder flight_;
   Profiler prof_;
   CallGraphProfiler cg_;
+  CoverageMap cov_;
 
   // Syscall-window synthesis state.
   bool syscall_open_ = false;

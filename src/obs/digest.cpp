@@ -1,0 +1,38 @@
+#include "obs/digest.h"
+
+namespace camo::obs {
+
+uint64_t snapshot_digest(const FlightSnapshot& s, uint64_t cycles,
+                         uint64_t retired) {
+  StateDigest d;
+  for (uint64_t r : s.x) d.add(r);
+  d.add(s.sp_el0);
+  d.add(s.sp_el1);
+  d.add(s.pc);
+  d.add(s.el);
+  d.add(s.banked_keys ? 1 : 0);
+  d.add(s.elr_el1);
+  d.add(s.spsr_el1);
+  d.add(s.esr_el1);
+  d.add(s.far_el1);
+  d.add(s.vbar_el1);
+  d.add(s.sctlr_el1);
+  for (const FlightKey& k : s.keys) {
+    d.add(k.lo);
+    d.add(k.hi);
+    d.add(k.prov);
+  }
+  for (const FlightKey& k : s.bank) {
+    d.add(k.lo);
+    d.add(k.hi);
+    d.add(k.prov);
+  }
+  d.add(s.s1_gen);
+  d.add(s.s2_gen);
+  d.add(s.pending_esr);
+  d.add(cycles);
+  d.add(retired);
+  return d.value();
+}
+
+}  // namespace camo::obs

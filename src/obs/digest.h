@@ -1,0 +1,55 @@
+// Architectural state digests (DESIGN.md §3g).
+//
+// obs::StateDigest is a rolling FNV-1a/64 over machine words; snapshot_digest
+// folds a full FlightSnapshot (general registers, PSTATE/EL, both key banks
+// with provenance, system registers, MMU fetch-epoch generations) plus the
+// cycle and retired-instruction counters into one 64-bit value. Two machines
+// with equal digests at the same retirement count are, for divergence
+// purposes, in the same architectural state.
+//
+// The divergence bisector (kernel/bisect.h) samples digests every N
+// retirements as cheap windowed checkpoints: larger N costs fewer snapshot
+// walks during the forward scan but widens the window the binary search has
+// to split afterwards — total probe work is O(window · log N), so N trades
+// linear scan cost against logarithmic re-run cost (see DESIGN.md §3g).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/flight.h"
+
+namespace camo::obs {
+
+/// Rolling FNV-1a, 64-bit.
+class StateDigest {
+ public:
+  static constexpr uint64_t kOffset = 14695981039346656037ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  void add(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ (v & 0xFF)) * kPrime;
+      v >>= 8;
+    }
+  }
+
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = kOffset;
+};
+
+/// Digest of a full snapshot plus the cycle/retired counters.
+uint64_t snapshot_digest(const FlightSnapshot& s, uint64_t cycles,
+                         uint64_t retired);
+
+/// One sampled checkpoint: digest of the state after `retired` retirements.
+struct DigestCheckpoint {
+  uint64_t retired = 0;
+  uint64_t digest = 0;
+};
+using DigestTrail = std::vector<DigestCheckpoint>;
+
+}  // namespace camo::obs

@@ -1,0 +1,49 @@
+// Cross-run divergence reports (DESIGN.md §3g).
+//
+// A DivergenceReport is the result of bisecting two Machine runs (see
+// kernel/bisect.h) to the first retired instruction after which their
+// architectural state digests differ. It is exported as a self-contained
+// `camo-div/v1` JSON bundle in flight-recorder style: both sides carry a
+// full FlightSnapshot and their last-K retire rings, so a human (or
+// camo-cov report tooling) can see exactly where and how the two runs
+// split without re-running anything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/json.h"
+
+namespace camo::obs {
+
+/// One side of a divergence comparison, captured at `retired` retirements.
+struct DivergenceSide {
+  std::string label;
+  uint64_t digest = 0;
+  uint64_t cycles = 0;
+  uint64_t retired = 0;
+  bool halted = false;
+  FlightSnapshot state;
+  std::vector<FlightInsn> ring;  ///< last-K retirements, oldest first
+};
+
+struct DivergenceReport {
+  bool diverged = false;
+  /// 1-based ordinal of the first retirement after which the digests
+  /// differ; 0 means the boot states already differed.
+  uint64_t first_divergent = 0;
+  /// Retirement count up to which both sides were verified equal.
+  uint64_t compared = 0;
+  uint64_t digest_interval = 0;
+  DivergenceSide a, b;
+};
+
+/// Canonical camo-div/v1 JSON bundle.
+std::string div_bundle_json(const DivergenceReport& r);
+
+/// Structural validation; returns "" when valid, else a message.
+std::string validate_div_bundle(const json::Value& v);
+
+}  // namespace camo::obs

@@ -89,7 +89,9 @@ json::Value key_json(const FlightKey& k) {
   return o;
 }
 
-json::Value snapshot_json(const FlightSnapshot& s) {
+}  // namespace
+
+json::Value flight_snapshot_json(const FlightSnapshot& s) {
   json::Value o = json::Value::object();
   json::Value regs = json::Value::array();
   for (uint64_t r : s.x) regs.push(json::Value(hex_u64(r)));
@@ -119,8 +121,6 @@ json::Value snapshot_json(const FlightSnapshot& s) {
   return o;
 }
 
-}  // namespace
-
 std::string flight_bundle_json(const FlightRecorder& rec,
                                const std::vector<AuditEvent>& audit,
                                const std::string& attack,
@@ -146,7 +146,7 @@ std::string flight_bundle_json(const FlightRecorder& rec,
       ring.push(std::move(o));
     }
     root.set("ring", std::move(ring));
-    root.set("state", snapshot_json(rec.state()));
+    root.set("state", flight_snapshot_json(rec.state()));
   }
   json::Value evs = json::Value::array();
   for (const AuditEvent& e : audit) evs.push(audit_event_json(e));

@@ -107,6 +107,16 @@ class FlightRecorder {
   /// Instruction ring frozen at capture time, oldest first.
   const std::vector<FlightInsn>& ring() const { return ring_; }
 
+  /// Copy of the live (un-triggered) ring, oldest first. The divergence
+  /// bisector uses this to export last-K retirements without a trigger.
+  std::vector<FlightInsn> live_ring() const {
+    std::vector<FlightInsn> out;
+    out.reserve(buf_.size());
+    for (size_t i = 0; i < buf_.size(); ++i)
+      out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
+  }
+
   void clear() {
     buf_.clear();
     ring_.clear();
@@ -137,6 +147,9 @@ uint64_t parse_hex_u64(const json::Value& v);
 /// Audit-event JSON codec (hex payloads, kind stored by ordinal + name).
 json::Value audit_event_json(const AuditEvent& e);
 bool audit_event_from_json(const json::Value& v, AuditEvent* out);
+
+/// Snapshot codec shared by camo-flight/v1 and camo-div/v1 bundles.
+json::Value flight_snapshot_json(const FlightSnapshot& s);
 
 /// Assemble a self-contained camo-flight/v1 replay bundle. `audit` is the
 /// full audit snapshot for the run; the causal chain of the capture's

@@ -28,6 +28,7 @@
 
 #include "kernel/machine.h"
 #include "obs/audit.h"
+#include "obs/coverage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
@@ -65,6 +66,11 @@ struct FleetResult {
   /// machine id, so the merged stream is bit-identical for any jobs value
   /// while staying per-machine attributable.
   std::vector<obs::AuditEvent> audit;
+  /// Per-machine coverage maps merged in task-index order (empty unless
+  /// machines were configured with obs.coverage). Bit-identical for any
+  /// jobs value: coverage is a pure function of each machine's retire
+  /// stream and merge_from is applied in index order.
+  obs::CoverageMap coverage;
   FleetStats stats;
 };
 
@@ -83,6 +89,8 @@ auto run_fleet(Pool& pool, size_t n, Factory&& factory, Task&& task)
     obs::Registry reg;
     std::vector<obs::TraceEvent> trace;
     std::vector<obs::AuditEvent> audit;
+    obs::CoverageMap coverage;
+    bool has_coverage = false;
     uint64_t instret = 0;
     double host_seconds = 0;
     double throughput = 0;
@@ -102,6 +110,10 @@ auto run_fleet(Pool& pool, size_t n, Factory&& factory, Task&& task)
       s.reg = st->metrics();
       s.trace = st->ring().snapshot();
       s.audit = st->audit_log().snapshot();
+      if (st->options().coverage) {
+        s.coverage = st->coverage().snapshot();
+        s.has_coverage = true;
+      }
       s.observed = true;
     }
   });
@@ -115,6 +127,7 @@ auto run_fleet(Pool& pool, size_t n, Factory&& factory, Task&& task)
       out.metrics.merge_from(s.reg);
       out.trace.insert(out.trace.end(), s.trace.begin(), s.trace.end());
       out.audit.insert(out.audit.end(), s.audit.begin(), s.audit.end());
+      if (s.has_coverage) out.coverage.merge_from(s.coverage);
     }
     out.stats.guest_instret += s.instret;
     out.stats.host_seconds += s.host_seconds;

@@ -1,0 +1,33 @@
+// Shared parity-assertion helper: when two Machine configurations that must
+// execute identically disagree, the plain EXPECT_EQ on their fingerprints
+// says only *that* they differ. MachinesConverge() re-runs the pair through
+// the divergence bisector (kernel/bisect.h) and reports the first divergent
+// retired instruction and both digests — turning "cycles 12345 != 12389"
+// into an actionable location (DESIGN.md §3g).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <iomanip>
+
+#include "kernel/bisect.h"
+
+namespace camo::testing_support {
+
+inline ::testing::AssertionResult MachinesConverge(
+    const kernel::BisectSide& a, const kernel::BisectSide& b,
+    const kernel::BisectOptions& opts = {}) {
+  const obs::DivergenceReport r = kernel::bisect_divergence(a, b, opts);
+  if (!r.diverged) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "runs diverge at retirement " << r.first_divergent
+         << " (verified equal through " << r.compared << "): " << r.a.label
+         << " digest 0x" << std::hex << r.a.digest << " pc 0x"
+         << (r.a.ring.empty() ? 0 : r.a.ring.back().pc) << " vs " << r.b.label
+         << " digest 0x" << r.b.digest << " pc 0x"
+         << (r.b.ring.empty() ? 0 : r.b.ring.back().pc) << std::dec
+         << " — re-run `camo-cov bisect` with these configs for the full "
+            "camo-div/v1 bundle";
+}
+
+}  // namespace camo::testing_support

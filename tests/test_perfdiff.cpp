@@ -258,6 +258,41 @@ TEST(PerfDiff, HistogramSeriesAreInformationalRegardlessOfUnit) {
   EXPECT_EQ(rep.deltas[1].status, Status::Info);
 }
 
+TEST(PerfDiff, CoverageAndDivergenceSeriesAreInformational) {
+  // Coverage counters move whenever the attack mix or kernel layout does;
+  // they are diagnostic shape (DESIGN.md §3g), never a perf gate — exactly
+  // like fleet.* and hist.*.
+  EXPECT_TRUE(series_is_informational("cov.blocks"));
+  EXPECT_TRUE(series_is_informational("cov.edges"));
+  EXPECT_TRUE(series_is_informational("cov.retired.el0"));
+  EXPECT_TRUE(series_is_informational("div.first_divergent"));
+  EXPECT_FALSE(series_is_informational("coverage.blocks"));
+  EXPECT_FALSE(series_is_informational("divergence.first"));
+
+  // A large swing in cov.* must not gate; the deterministic series beside
+  // it still does.
+  const auto base = doc("Sec", {pt("full", "read", 1000, "cycles/op"),
+                                pt("full", "cov.blocks", 50, "count")});
+  const auto cur = doc("Sec", {pt("full", "read", 1000, "cycles/op"),
+                               pt("full", "cov.blocks", 500, "count")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_TRUE(rep.ok) << rep.markdown();
+  ASSERT_EQ(rep.deltas.size(), 2u);
+  EXPECT_EQ(rep.deltas[1].status, Status::Info);
+  const auto drift = doc("Sec", {pt("full", "read", 1100, "cycles/op"),
+                                 pt("full", "cov.blocks", 50, "count")});
+  EXPECT_FALSE(diff({base}, {drift}, {}).ok);
+
+  // Informational exemption also covers missing/new under strict options:
+  // baselines recorded before coverage existed keep passing.
+  Options strict;
+  strict.allow_missing = false;
+  strict.allow_new = false;
+  const auto without = doc("Sec", {pt("full", "read", 1000, "cycles/op")});
+  EXPECT_TRUE(diff({without}, {base}, strict).ok);
+  EXPECT_TRUE(diff({base}, {without}, strict).ok);
+}
+
 TEST(PerfDiff, MarkdownReportsRunHeaders) {
   // diff() refuses cross-jobs comparisons, so both sides record jobs=8.
   auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});

@@ -13,6 +13,7 @@
 #include "kernel/machine.h"
 #include "kernel/workloads.h"
 #include "obs/collector.h"
+#include "parity.h"
 
 namespace camo {
 namespace {
@@ -281,17 +282,27 @@ TEST_P(Superblock, BreakpointInsideStraightLineRunFires) {
 // engine combinations, including the obs retire stream.
 // ---------------------------------------------------------------------------
 
+kernel::BisectSide parity_side(bool superblocks, bool fast_path) {
+  kernel::BisectSide s;
+  s.label = std::string(superblocks ? "sb-on" : "sb-off") +
+            (fast_path ? " fp-on" : " fp-off");
+  s.cfg.kernel.protection = compiler::ProtectionConfig::full();
+  s.cfg.kernel.log_pac_failures = false;
+  s.cfg.kernel.preempt = true;
+  s.cfg.cpu.superblocks = superblocks;
+  s.cfg.cpu.fast_path = fast_path;
+  s.setup = [](kernel::Machine& m) {
+    m.add_user_program(kernel::workloads::null_syscall(25));
+    m.add_user_program(kernel::workloads::yield_loop(10));
+  };
+  return s;
+}
+
 std::tuple<uint64_t, uint64_t, uint64_t, std::string> machine_fingerprint(
     bool superblocks, bool fast_path) {
-  kernel::MachineConfig cfg;
-  cfg.kernel.protection = compiler::ProtectionConfig::full();
-  cfg.kernel.log_pac_failures = false;
-  cfg.kernel.preempt = true;
-  cfg.cpu.superblocks = superblocks;
-  cfg.cpu.fast_path = fast_path;
-  kernel::Machine m(cfg);
-  m.add_user_program(kernel::workloads::null_syscall(25));
-  m.add_user_program(kernel::workloads::yield_loop(10));
+  const kernel::BisectSide s = parity_side(superblocks, fast_path);
+  kernel::Machine m(s.cfg);
+  s.setup(m);
   m.boot();
   EXPECT_TRUE(m.run());
   return {m.cpu().cycles(), m.cpu().retired(), m.halt_code(), m.console()};
@@ -299,9 +310,18 @@ std::tuple<uint64_t, uint64_t, uint64_t, std::string> machine_fingerprint(
 
 TEST(SuperblockParity, MachineRunBitForBitAcrossAllEngineCombos) {
   const auto ref = machine_fingerprint(false, false);
-  EXPECT_EQ(ref, machine_fingerprint(false, true));
-  EXPECT_EQ(ref, machine_fingerprint(true, false));
-  EXPECT_EQ(ref, machine_fingerprint(true, true));
+  for (const auto& [sb, fp] : {std::pair{false, true},
+                              std::pair{true, false},
+                              std::pair{true, true}}) {
+    const auto cur = machine_fingerprint(sb, fp);
+    if (cur == ref) continue;
+    // Fingerprints disagree: escalate to the divergence bisector so the
+    // failure names the first divergent retired instruction instead of
+    // just the end-of-run totals (DESIGN.md §3g).
+    EXPECT_EQ(cur, ref);
+    EXPECT_TRUE(testing_support::MachinesConverge(parity_side(false, false),
+                                                  parity_side(sb, fp)));
+  }
 }
 
 TEST(SuperblockParity, ObsTraceByteIdenticalWithEngineOnAndOff) {

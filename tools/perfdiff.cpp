@@ -45,8 +45,12 @@ bool series_is_informational(const std::string& benchmark) {
   // par::run_fleet scheduler telemetry: steal counts, imbalance and
   // aggregate throughput depend on host scheduling, never on the simulation.
   // Histogram quantile families (bench::Session::add_histogram) are
-  // distribution shape: informational by construction.
-  return benchmark.rfind("fleet.", 0) == 0 || benchmark.rfind("hist.", 0) == 0;
+  // distribution shape: informational by construction. Coverage and
+  // divergence families (bench::Session::add_coverage, DESIGN.md §3g) are
+  // diagnostic signal — never a perf gate.
+  return benchmark.rfind("fleet.", 0) == 0 ||
+         benchmark.rfind("hist.", 0) == 0 ||
+         benchmark.rfind("cov.", 0) == 0 || benchmark.rfind("div.", 0) == 0;
 }
 
 namespace {

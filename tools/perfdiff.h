@@ -66,9 +66,11 @@ bool unit_is_cost(const std::string& unit);
 /// diff().
 bool unit_is_informational(const std::string& unit);
 /// True for benchmark names that are report-only regardless of unit:
-/// "fleet."-prefixed scheduler telemetry (steals, imbalance, throughput)
-/// and "hist."-prefixed histogram quantiles (distribution shape — p50/p95/
-/// p99 move with workload composition, so they inform, never gate).
+/// "fleet."-prefixed scheduler telemetry (steals, imbalance, throughput),
+/// "hist."-prefixed histogram quantiles (distribution shape — p50/p95/
+/// p99 move with workload composition, so they inform, never gate), and
+/// "cov."/"div."-prefixed coverage and divergence counters (execution-shape
+/// diagnostics, DESIGN.md §3g).
 bool series_is_informational(const std::string& benchmark);
 
 struct Delta {
