@@ -25,6 +25,7 @@
 //     a baseline recording (bench/baselines/) is reproducible bit-for-bit.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -105,13 +106,26 @@ inline bool& superblocks_allowed() {
   return allowed;
 }
 
+/// Guest core count run_workload builds machines with when the caller
+/// passes `cores = 0` ("session default"). Session's constructor sets it
+/// from --cores, so every bench built on run_workload honours the flag
+/// without threading a parameter through each call site. Written once
+/// before any fleet worker spawns; reads are unsynchronized by design
+/// (same pattern as superblocks_allowed()).
+inline unsigned& session_cores() {
+  static unsigned cores = 1;
+  return cores;
+}
+
 inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
                               std::vector<obj::Program> programs,
                               uint64_t max_steps = 400'000'000,
                               bool collect = false,
                               uint64_t seed = kernel::MachineConfig{}.seed,
                               bool fast_path = true,
-                              bool superblocks = true) {
+                              bool superblocks = true,
+                              unsigned cores = 0) {
+  if (cores == 0) cores = session_cores();
   kernel::MachineConfig cfg;
   cfg.kernel.protection = prot;
   cfg.kernel.log_pac_failures = false;
@@ -119,19 +133,29 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
   cfg.seed = seed;
   cfg.cpu.fast_path = fast_path;
   cfg.cpu.superblocks = superblocks && superblocks_allowed();
+  cfg.cores = cores;
   kernel::Machine m(cfg);
   for (auto& p : programs) m.add_user_program(std::move(p));
   m.boot();
   uint64_t start = 0;
-  m.cpu().add_breakpoint(kernel::kUserBase, [&](cpu::Cpu& c) {
-    if (start == 0) start = c.cycles();
-  });
+  // Single-core: the workload window opens at the first EL0 entry. On a
+  // multi-core guest each core has its own clock, so the window is measured
+  // on whichever core first reaches EL0 in interleaver order (deterministic
+  // like everything else guest-side).
+  for (unsigned c = 0; c < m.cores(); ++c)
+    m.core(c).add_breakpoint(kernel::kUserBase, [&](cpu::Cpu& cc) {
+      if (start == 0) start = cc.cycles();
+    });
   m.run(max_steps);
   RunCycles r;
+  // Multi-core "total" is the makespan: the busiest core's clock. At
+  // cores=1 both reduce to the classic single-clock readings.
   r.total = m.cpu().cycles();
+  for (unsigned c = 1; c < m.cores(); ++c)
+    r.total = std::max(r.total, m.core(c).cycles());
   r.workload = start == 0 ? r.total : r.total - start;
   r.halt_code = m.halted() ? m.halt_code() : ~uint64_t{0};
-  r.retired = m.cpu().retired();
+  r.retired = m.total_retired();
   r.host_seconds = m.host_seconds();
   if (obs::Collector* st = m.stats()) {
     r.trace_json = st->chrome_trace_json();
@@ -219,6 +243,12 @@ class Session {
     /// JSON header when != 1 so camo-perfdiff can refuse cross-jobs gating;
     /// omitted at 1 to keep serial output byte-identical to pre-fleet runs.
     unsigned jobs = 1;
+    /// Guest cores per machine: --cores N, else 1. Unlike --jobs this IS
+    /// part of the simulated contract — a 2-core guest schedules
+    /// differently — so it is recorded in the emitted JSON header when != 1
+    /// and camo-perfdiff refuses cross-cores comparisons; omitted at 1 to
+    /// keep uniprocessor artifacts byte-identical to pre-SMP recordings.
+    unsigned cores = 1;
   };
 
   /// Parse and compact the shared flags out of argv. Returns an empty
@@ -310,6 +340,23 @@ class Session {
         continue;
       }
       if (matched) break;
+      std::string cores_text;
+      if (take_value("--cores", cores_text, matched)) {
+        char* end = nullptr;
+        const unsigned long long v =
+            std::strtoull(cores_text.c_str(), &end, 0);
+        if (cores_text[0] == '-' || cores_text[0] == '+' ||
+            end == cores_text.c_str() || *end != '\0' || v == 0) {
+          error =
+              "--cores wants a positive integer, got \"" + cores_text + "\"";
+          break;
+        }
+        // Guest cores are simulated, not host threads: no environment
+        // fallback (the artifact must say what was simulated), modest cap.
+        out.cores = static_cast<unsigned>(v > 64 ? 64 : v);
+        continue;
+      }
+      if (matched) break;
       argv[kept++] = argv[i];  // not ours: keep for the binary's own parser
     }
     if (error.empty()) {
@@ -329,6 +376,7 @@ class Session {
       std::exit(2);
     }
     superblocks_allowed() = flags_.sb;
+    session_cores() = flags_.cores;
     std::printf(
         "\n================================================================\n");
     std::printf("%s — %s%s\n", bench_id_.c_str(), title_.c_str(),
@@ -350,6 +398,7 @@ class Session {
   const std::string& flight_rec_path() const { return flags_.flight_rec_path; }
   const std::string& cov_path() const { return flags_.cov_path; }
   unsigned jobs() const { return flags_.jobs; }
+  unsigned cores() const { return flags_.cores; }
 
   /// The session's work-stealing pool, sized by --jobs / CAMO_JOBS
   /// (constructed on first use; at --jobs 1 fleet() runs inline and the
@@ -472,6 +521,11 @@ class Session {
     // recordings, and camo-perfdiff treats "jobs" mismatches as incomparable.
     if (flags_.jobs != 1)
       doc.set("jobs", obs::json::Value(static_cast<uint64_t>(flags_.jobs)));
+    // Absent means 1 guest core: uniprocessor artifacts stay byte-identical
+    // to pre-SMP recordings. Unlike "jobs", cores changes simulated results,
+    // so camo-perfdiff refuses cross-cores comparisons outright.
+    if (flags_.cores != 1)
+      doc.set("cores", obs::json::Value(static_cast<uint64_t>(flags_.cores)));
     // Absent means on (the default engine): recordings made before the flag
     // existed — and every default run since — stay byte-identical.
     if (!flags_.sb) doc.set("sb", obs::json::Value(false));

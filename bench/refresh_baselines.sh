@@ -27,6 +27,11 @@
 # baseline accidentally recorded at --jobs 8 (e.g. via a stray CAMO_JOBS in
 # the environment) would make every later --jobs 1 gate run fail.
 #
+# --cores is pinned to 1 for the stronger reason: guest core count changes
+# the *simulated* results, and camo-perfdiff refuses cross-cores pairs
+# outright. (bench_smp sweeps its own core counts internally regardless of
+# the flag, so its baseline stays uniprocessor-headed and comparable.)
+#
 # Superblocks (DESIGN.md §3e) stay at their default (on): the engine is
 # cycle-exact, so the gated series are identical either way — a gate run
 # passing with the engine on is itself the parity check. The benches'
@@ -58,6 +63,7 @@ benches=(
   bench_census
   bench_instruction_mix
   bench_fleet
+  bench_smp
 )
 
 mkdir -p "$out_dir"
@@ -68,7 +74,7 @@ for b in "${benches[@]}"; do
     exit 2
   fi
   echo "== $b"
-  "$bin" --smoke --seed "$seed" --jobs 1 --json "$out_dir/$b.json" > /dev/null
+  "$bin" --smoke --seed "$seed" --jobs 1 --cores 1 --json "$out_dir/$b.json" > /dev/null
 done
 
 echo

@@ -135,6 +135,7 @@ CAMO_R3(udiv, UDIV)
 CAMO_R3(lslv, LSLV)
 CAMO_R3(lsrv, LSRV)
 CAMO_R3(pacga, PACGA)
+CAMO_R3(swp, SWP)
 #undef CAMO_R3
 
 void FunctionBuilder::cmp(uint8_t rn, uint8_t rm) {

@@ -163,6 +163,9 @@ class FunctionBuilder {
   void stp(uint8_t rt, uint8_t rt2, uint8_t rn, int16_t off = 0);
   void stp_pre(uint8_t rt, uint8_t rt2, uint8_t rn, int16_t off);
   void ldp_post(uint8_t rt, uint8_t rt2, uint8_t rn, int16_t off);
+  /// Atomic swap: rd = old [rn], [rn] = rm — indivisible even under the SMP
+  /// interleaver (it never splits one instruction). Spinlock primitive.
+  void swp(uint8_t rd, uint8_t rn, uint8_t rm);
 
   void b(Label target);
   void bl(Label target);

@@ -364,6 +364,64 @@ AttackReport run_trapframe_escalation(const ProtectionConfig& prot,
   return finish(m);
 }
 
+AttackReport run_trapframe_migration(const ProtectionConfig& prot) {
+  MachineConfig cfg = machine_config(prot);
+  cfg.kernel.protect_trapframe = true;
+  cfg.kernel.preempt = true;
+  cfg.cores = 2;
+  // Tight interleaving so tasks actually bounce between cores: the corrupted
+  // frame must be *consumed on a different core* than it was saved on.
+  cfg.smp_quantum = 50;
+  Machine m(cfg);
+  // Three tasks on two cores: the runqueue always holds a parked Runnable
+  // task, so yields actually switch and tasks keep crossing cores (two tasks
+  // on two cores would each just keep their core — an empty pick set makes
+  // yield a no-op).
+  m.add_user_program(kernel::workloads::yield_loop(50));
+  m.add_user_program(kernel::workloads::yield_loop(50));
+  m.add_user_program(kernel::workloads::yield_loop(50));
+  m.boot();
+  const uint64_t gadget = m.kernel_symbol(kernel::kSymGadget);
+  const uint64_t t1 = m.task_struct(1);
+  bool armed = false;
+  bool injected = false;
+  // Arm at core 1's scheduler entry: task 1 parked Runnable with its frame
+  // saved by core 0 is the migration bait (vruntime 0 wins every cfs-lite
+  // min scan, so whichever core schedules next claims it).
+  m.core(1).add_breakpoint(m.kernel_symbol("schedule"), [&](cpu::Cpu&) {
+    if (armed || injected) return;
+    if (m.read_u64(t1 + kernel::task::kState) !=
+        static_cast<uint64_t>(kernel::TaskState::Runnable))
+      return;
+    if (m.read_u64(t1 + kernel::task::kCpu) != 0) return;  // saved on core 0
+    m.write_u64(t1 + kernel::task::kVruntime, 0);
+    armed = true;
+  });
+  // Inject at core 1's cpu_switch_to once it has claimed task 1: the frame
+  // core 0 signed is corrupted in the window between claim and first ERET.
+  // Kernel keys are machine-wide, so the migrated signature itself would
+  // authenticate anywhere — only the corruption fails closed, on core 1's
+  // own exception exit, and the audit stream attributes the AuthFail to the
+  // destination core.
+  m.core(1).add_breakpoint(m.kernel_symbol(kernel::kSymCpuSwitchTo),
+                           [&](cpu::Cpu& c) {
+    if (!armed || injected) return;
+    if (c.x(1) != t1) return;  // x1 = next: core 1 is migrating task 1 in
+    const uint64_t kstack_top = m.read_u64(t1 + kernel::task::kKstackTop);
+    const uint64_t tf = kstack_top - 272;
+    Attacker atk(m);
+    if (!atk.write(tf + 248, gadget)) return;  // ELR slot
+    atk.write(tf + 256, 0x81);                 // SPSR slot: ERET to EL1
+    injected = true;
+  });
+  AttackReport r = finish(m);
+  if (!injected) {
+    r.outcome = Outcome::Blocked;
+    r.detail = "no cross-core migration window opened";
+  }
+  return r;
+}
+
 // ---------------------------------------------------------------------------
 // Scenario registry
 // ---------------------------------------------------------------------------
@@ -372,7 +430,8 @@ const std::vector<std::string>& attack_names() {
   static const std::vector<std::string> names = {
       "rop-injection",  "forward-edge",  "fops-redirect",
       "fops-cross-object", "bruteforce", "key-extraction",
-      "rodata-tamper",  "trapframe",     "trapframe-protected"};
+      "rodata-tamper",  "trapframe",     "trapframe-protected",
+      "trapframe-migration"};
   return names;
 }
 
@@ -406,6 +465,8 @@ std::optional<AttackReport> run_named_attack(const std::string& attack,
   else if (attack == "trapframe") r = run_trapframe_escalation(*prot, false);
   else if (attack == "trapframe-protected")
     r = run_trapframe_escalation(*prot, true);
+  else if (attack == "trapframe-migration")
+    r = run_trapframe_migration(*prot);
   g_flight_ctx = {};
   return r;
 }

@@ -105,6 +105,15 @@ AttackReport run_rodata_tamper(const compiler::ProtectionConfig& prot);
 AttackReport run_trapframe_escalation(const compiler::ProtectionConfig& prot,
                                       bool protect_trapframe);
 
+/// SMP variant of the trapframe attack: on a 2-core machine, corrupt a
+/// sleeping task's saved exception state after core 0 parked it and arrange
+/// for core 1 to migrate the task in. Kernel keys are machine-wide (every
+/// core's bank holds the same boot-derived keys), so the migrated frame's
+/// signature would authenticate anywhere — only the *corruption* fails
+/// closed, on the destination core, which the audit stream's per-event cpu
+/// id attributes (trapframe protection is always on for this scenario).
+AttackReport run_trapframe_migration(const compiler::ProtectionConfig& prot);
+
 // ---- modifier replay matrix (§6.2.1, §7) -----------------------------------
 
 /// Replay scenarios for backward-edge CFI. "Accepted" means the replayed
@@ -132,7 +141,7 @@ bool replay_accepted_on_cpu(compiler::BackwardScheme scheme,
 /// Stable names for every full-system attack above, in a fixed order:
 /// rop-injection, forward-edge, fops-redirect, fops-cross-object,
 /// bruteforce, key-extraction, rodata-tamper, trapframe,
-/// trapframe-protected.
+/// trapframe-protected, trapframe-migration.
 const std::vector<std::string>& attack_names();
 
 /// Stable names for the protection presets: none, backward, full.

@@ -64,6 +64,7 @@ obs::OpClass Cpu::op_class(Op op) {
     case Op::STRB:
     case Op::STP:
     case Op::STP_PRE:
+    case Op::SWP:
       return obs::OpClass::Store;
     case Op::PACIA:
     case Op::PACIB:
@@ -146,6 +147,10 @@ uint64_t Cpu::sysreg(SysReg r) const {
       return pstate.irq_masked ? (uint64_t{1} << 7) : 0;
     case SysReg::SP_EL0:
       return sp_el0_;
+    case SysReg::MPIDR_EL1:
+      return cpu_id_;
+    case SysReg::ISR_EL1:
+      return irq_sources_;
     default:
       return sys_[static_cast<size_t>(r)];
   }
@@ -155,7 +160,11 @@ void Cpu::set_sysreg(SysReg r, uint64_t v) {
   switch (r) {
     case SysReg::CurrentEL:
     case SysReg::CNTVCT_EL0:
+    case SysReg::MPIDR_EL1:
       return;  // read-only
+    case SysReg::ISR_EL1:
+      irq_sources_ &= ~v;  // write-1-to-clear
+      return;
     case SysReg::DAIF:
       pstate.irq_masked = (v >> 7) & 1;
       return;
@@ -187,6 +196,7 @@ void Cpu::set_kernel_bank_key(PacKey k, const qarma::Key128& key) {
     e.el = static_cast<uint8_t>(pstate.el);
     e.bank = 1;
     e.prov = bank_prov_[static_cast<size_t>(k)];
+    e.cpu = static_cast<uint8_t>(cpu_id_);
     audit_->audit(e);
   }
 }
@@ -225,6 +235,8 @@ unsigned Cpu::cycle_cost(const Inst& inst) {
     case Op::STP:
     case Op::STP_PRE:
       return 2;
+    case Op::SWP:
+      return 4;  // atomic read-modify-write: load + locked store
     case Op::MUL:
       return 3;
     case Op::UDIV:
@@ -352,6 +364,7 @@ void Cpu::take_exception(ExcClass cls, uint64_t far, uint16_t iss,
     a.ptr = far;
     a.el = from_el;
     a.aux = static_cast<uint8_t>(cls);
+    a.cpu = static_cast<uint8_t>(cpu_id_);
     audit_->audit(a);
   }
 }
@@ -388,6 +401,7 @@ void Cpu::do_eret() {
     a.ptr = pc;
     a.el = 1;  // ERET executes at EL1
     a.aux = static_cast<uint8_t>(pstate.el);
+    a.cpu = static_cast<uint8_t>(cpu_id_);
     audit_->audit(a);
   }
 }
@@ -478,6 +492,7 @@ uint64_t Cpu::do_pac(uint64_t ptr, uint64_t modifier, PacKey k) {
     a.key = static_cast<uint8_t>(k);
     a.el = static_cast<uint8_t>(pstate.el);
     a.mclass = static_cast<uint8_t>(obs::classify_modifier(modifier));
+    a.cpu = static_cast<uint8_t>(cpu_id_);
     audit_->audit(a);
   }
   return signed_ptr;
@@ -512,6 +527,7 @@ uint64_t Cpu::do_aut(uint64_t ptr, uint64_t modifier, PacKey k, Op op,
     a.key = static_cast<uint8_t>(k);
     a.el = static_cast<uint8_t>(pstate.el);
     a.mclass = static_cast<uint8_t>(obs::classify_modifier(modifier));
+    a.cpu = static_cast<uint8_t>(cpu_id_);
     audit_->audit(a);
   }
   if (!r.ok) {
@@ -566,6 +582,7 @@ bool Cpu::step_impl() {
   if (timer_cycles_ != 0 && cycles_ >= timer_cycles_) {
     timer_cycles_ = timer_period_ == 0 ? 0 : cycles_ + timer_period_;
     irq_pending_ = true;
+    irq_sources_ |= kIrqSrcTimer;
   }
   if (irq_pending_ && !pstate.irq_masked) {
     irq_pending_ = false;
@@ -872,6 +889,16 @@ struct ExecHandlers {
     c.mem_write8(c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm),
                  static_cast<uint8_t>(c.x(inst.rd)));
   }
+  static void swp(Cpu& c, const Inst& inst) {
+    // Atomic swap: the quantum interleaver never splits one instruction, so
+    // load+store here is indivisible across cores — the guest SMP runqueue
+    // lock is built on exactly that.
+    const uint64_t va = c.read_gpr_or_sp(inst.rn);
+    uint64_t old;
+    if (!c.mem_read64(va, old)) return;
+    if (!c.mem_write64(va, c.x(inst.rm))) return;
+    c.set_x(inst.rd, old);
+  }
   static void ldp(Cpu& c, const Inst& inst) {
     const uint64_t base =
         c.read_gpr_or_sp(inst.rn) + static_cast<uint64_t>(inst.imm);
@@ -1022,6 +1049,7 @@ struct ExecHandlers {
         a.el = static_cast<uint8_t>(c.pstate.el);
         a.prov = c.key_prov_[key_idx];
         a.imm = static_cast<uint16_t>(inst.sysreg);
+        a.cpu = static_cast<uint8_t>(c.cpu_id_);
         c.audit_->audit(a);
       }
     }
@@ -1225,6 +1253,7 @@ constexpr Cpu::ExecFn pick_handler(Op op) {
     case Op::AUTIA1716:
     case Op::AUTIB1716: return &ExecHandlers::autx1716;
     case Op::XPACLRI: return &ExecHandlers::xpaclri;
+    case Op::SWP: return &ExecHandlers::swp;
     case Op::kCount: return nullptr;  // never decoded; not in the table
   }
   return nullptr;

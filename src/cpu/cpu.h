@@ -188,6 +188,12 @@ class Cpu {
   void reset_op_counts() { op_counts_.fill(0); }
 
   // ---- Interrupts -------------------------------------------------------
+  /// IRQ source bits latched into ISR_EL1 (guest reads the latch, MSR is
+  /// write-1-to-clear). A bare raise_irq() latches no source — legacy
+  /// callers that never look at ISR_EL1 keep their exact behaviour.
+  static constexpr uint64_t kIrqSrcTimer = uint64_t{1} << 0;
+  static constexpr uint64_t kIrqSrcIpi = uint64_t{1} << 1;
+
   /// Arm the countdown timer: an IRQ is delivered after `cycles` more cycles
   /// (0 disables).
   void set_timer(uint64_t cycles);
@@ -195,6 +201,17 @@ class Cpu {
   /// preemptive scheduling.
   void set_timer_period(uint64_t cycles);
   void raise_irq() { irq_pending_ = true; }
+  /// Raise an IRQ and latch its source into ISR_EL1 (IPI doorbell path).
+  void raise_irq(uint64_t source) {
+    irq_pending_ = true;
+    irq_sources_ |= source;
+  }
+
+  // ---- SMP identity -----------------------------------------------------
+  /// Core id within the owning machine; reads back through MPIDR_EL1.
+  /// Single-core machines leave this 0.
+  unsigned cpu_id() const { return cpu_id_; }
+  void set_cpu_id(unsigned id) { cpu_id_ = id; }
 
   // ---- Host hooks -------------------------------------------------------
   using Hook = std::function<void(Cpu&)>;
@@ -362,8 +379,10 @@ class Cpu {
   std::unique_ptr<SuperblockEngine> sb_;  // used by run() when cfg_.superblocks
 
   bool irq_pending_ = false;
+  uint64_t irq_sources_ = 0;   // ISR_EL1 latch: kIrqSrc* bits, W1C via MSR
   uint64_t timer_cycles_ = 0;  // 0 = disarmed; else absolute cycle deadline
   uint64_t timer_period_ = 0;  // 0 = one-shot; else re-arm interval
+  unsigned cpu_id_ = 0;        // core index in the owning Machine
 
   std::unordered_map<uint64_t, std::vector<Hook>> breakpoints_;
   // [min, max] pc range of registered breakpoints: a one-compare guard that

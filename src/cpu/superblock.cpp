@@ -118,6 +118,7 @@ uint64_t SuperblockEngine::execute(Cpu& cpu, uint64_t budget) {
                                 ? 0
                                 : cpu.cycles_ + cpu.timer_period_;
         cpu.irq_pending_ = true;
+        cpu.irq_sources_ |= Cpu::kIrqSrcTimer;
       }
       if (cpu.irq_pending_ && !cpu.pstate.irq_masked) {
         if (consumed > d0) stats_.run_length.record(consumed - d0);

@@ -103,6 +103,14 @@ void Hypervisor::install(cpu::Cpu& cpu) {
   cpu.set_msr_filter([this](cpu::Cpu& c, isa::SysReg r, uint64_t v) {
     return filter_msr(c, r, v);
   });
+  const unsigned id = cpu.cpu_id();
+  if (cpus_.size() <= id) cpus_.resize(id + 1, nullptr);
+  cpus_[id] = &cpu;
+}
+
+void Hypervisor::adopt_mmu(mem::Mmu& mmu) {
+  mmu.set_kernel_map(&kernel_map_);
+  mmu.set_stage2(&stage2_);
 }
 
 bool Hypervisor::filter_msr(cpu::Cpu& cpu, isa::SysReg reg, uint64_t) {
@@ -124,6 +132,7 @@ bool Hypervisor::filter_msr(cpu::Cpu& cpu, isa::SysReg reg, uint64_t) {
       a.cycles = cpu.cycles();
       a.pc = cpu.pc;
       a.el = static_cast<uint8_t>(cpu.pstate.el);
+      a.cpu = static_cast<uint8_t>(cpu.cpu_id());
       a.imm = static_cast<uint16_t>(reg);
       audit_->audit(a);
     }
@@ -155,24 +164,40 @@ void Hypervisor::handle_hvc(cpu::Cpu& cpu, uint16_t imm) {
       console_.push_back(static_cast<char>(cpu.x(0)));
       break;
     case HvcCall::ConsoleWrite: {
+      // Read through the *calling* core's Mmu: on a single-core machine this
+      // is the primary Mmu, on SMP it resolves the caller's stage-1 state.
       const uint64_t va = cpu.x(0);
       const uint64_t len = cpu.x(1);
       for (uint64_t i = 0; i < len && i < 4096; ++i) {
-        const auto r = mmu_->read8(va + i, mem::El::El2);
+        const auto r = cpu.mmu().read8(va + i, mem::El::El2);
         if (r.fault != mem::FaultKind::None) break;
         console_.push_back(static_cast<char>(r.value));
       }
       break;
     }
-    case HvcCall::SwitchUserSpace:
-      switch_user_space(static_cast<int>(cpu.x(0)));
+    case HvcCall::SwitchUserSpace: {
+      // Switch the calling core's user half only — each core runs its own
+      // task. active_user_ tracks the most recent switch (host telemetry).
+      const int id = static_cast<int>(cpu.x(0));
+      cpu.mmu().set_user_map(&user_space(id));
+      active_user_ = id;
       break;
+    }
     case HvcCall::LoadModule:
       do_load_module(cpu);
       break;
     case HvcCall::Lockdown:
       lockdown();
       break;
+    case HvcCall::SendIpi: {
+      // IPI doorbell: latch the source bit on the target core. An invalid
+      // target is a deterministic no-op (the guest scheduler never sends
+      // one; attack code might probe).
+      const uint64_t target = cpu.x(0);
+      if (target < cpus_.size() && cpus_[target] != nullptr)
+        cpus_[target]->raise_irq(cpu::Cpu::kIrqSrcIpi);
+      break;
+    }
     default:
       fail("hypervisor: unknown HVC #" + std::to_string(imm));
   }
@@ -223,6 +248,7 @@ void Hypervisor::do_load_module(cpu::Cpu& cpu) {
     a.ptr2 = init_va;
     a.el = static_cast<uint8_t>(cpu.pstate.el);
     a.aux = ok ? 1 : 0;
+    a.cpu = static_cast<uint8_t>(cpu.cpu_id());
     audit_->audit(a);
   }
 

@@ -41,6 +41,7 @@ enum class HvcCall : uint16_t {
   LoadModule = 4,    ///< x0 = module id; ret x0 = init fn VA (0 = rejected),
                      ///< x1 = .pauth_init table VA, x2 = entry count
   Lockdown = 5,      ///< lock SCTLR/VBAR for the rest of the run
+  SendIpi = 6,       ///< x0 = target core id; rings its IPI doorbell
 };
 
 class Hypervisor {
@@ -76,8 +77,13 @@ class Hypervisor {
   void protect_xom(uint64_t va, uint64_t len);
 
   // ---- CPU integration ----
-  /// Install the HVC handler and the MSR lockdown filter on a core.
+  /// Install the HVC handler and the MSR lockdown filter on a core, and
+  /// register it (by cpu_id) as an IPI target for HVC SendIpi.
   void install(cpu::Cpu& cpu);
+  /// Wire a secondary core's Mmu to the hypervisor-owned kernel map and
+  /// stage-2 overlay (the primary Mmu is wired by the constructor). All
+  /// cores then share one stage-2 physical view by construction.
+  void adopt_mmu(mem::Mmu& mmu);
   void lockdown() { locked_ = true; }
   bool locked_down() const { return locked_; }
   /// Number of denied EL1 writes to locked MMU registers (attack telemetry).
@@ -128,6 +134,7 @@ class Hypervisor {
   mem::Stage2Map stage2_;
   std::vector<std::unique_ptr<mem::Stage1Map>> user_spaces_;
   int active_user_ = -1;
+  std::vector<cpu::Cpu*> cpus_;  ///< IPI targets, indexed by cpu_id
 
   uint64_t next_free_pa_ = 0x100000;  ///< first MiB reserved
   // Module area sits within B/BL range (±32 MiB) of the kernel image, just

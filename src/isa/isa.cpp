@@ -103,6 +103,7 @@ constexpr std::array<OpInfo, kOpCount> make_op_table() {
   set(Op::AUTIA1716, "autia1716", Format::None);
   set(Op::AUTIB1716, "autib1716", Format::None);
   set(Op::XPACLRI, "xpaclri", Format::None);
+  set(Op::SWP, "swp", Format::R3);
   return t;
 }
 
@@ -207,6 +208,8 @@ const char* sysreg_name(SysReg r) {
     case SysReg::CNTVCT_EL0: return "cntvct_el0";
     case SysReg::CurrentEL: return "currentel";
     case SysReg::DAIF: return "daif";
+    case SysReg::MPIDR_EL1: return "mpidr_el1";
+    case SysReg::ISR_EL1: return "isr_el1";
     case SysReg::kCount: break;
   }
   return "<bad-sysreg>";

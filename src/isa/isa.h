@@ -55,6 +55,8 @@ enum class SysReg : uint8_t {
   CNTVCT_EL0,  ///< virtual counter; reads the cycle counter
   CurrentEL,   ///< read-only
   DAIF,
+  MPIDR_EL1,   ///< read-only core id (multiprocessor affinity)
+  ISR_EL1,     ///< pending-IRQ source latch; MSR is write-1-to-clear
   kCount,
 };
 
@@ -206,6 +208,10 @@ enum class Op : uint8_t {
   AUTIA1716,
   AUTIB1716,
   XPACLRI,  ///< strip PAC from LR
+
+  // Atomic swap (F_R3: rd = loaded old value, rn = address, rm = new value).
+  // Appended at the tail so every pre-existing opcode keeps its encoding.
+  SWP,
 
   kCount,
 };

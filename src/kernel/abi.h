@@ -38,6 +38,9 @@ inline constexpr uint16_t kSavedSpEl0 = 0x30;
 inline constexpr uint16_t kSyscalls = 0x38;  ///< per-task syscall counter
 inline constexpr uint16_t kKstackTop = 0x40;
 inline constexpr uint16_t kUserKeys = 0x48;  ///< 10 u64: IA,IB,DA,DB,GA lo/hi
+// SMP-only fields (stay zero — and unread — on uniprocessor kernels):
+inline constexpr uint16_t kVruntime = 0x98;  ///< cfs-lite virtual runtime
+inline constexpr uint16_t kCpu = 0xA0;       ///< core the task last ran on
 }  // namespace task
 
 enum class TaskState : uint64_t {
@@ -147,5 +150,11 @@ inline constexpr const char* kSymRamfsData = "ramfs_data";
 inline constexpr const char* kSymCpuSwitchTo = "cpu_switch_to";
 inline constexpr const char* kSymPwnedFlag = "pwned_flag";
 inline constexpr const char* kSymGadget = "gadget_escalate";
+// SMP-only symbols (present when KernelConfig::num_cpus > 1):
+inline constexpr const char* kSymSchedLock = "sched_lock";
+inline constexpr const char* kSymIpiMailbox = "ipi_mailbox";
+inline constexpr const char* kSymIpiCount = "ipi_count";
+inline constexpr const char* kSymSmpOnline = "smp_online";
+inline constexpr const char* kSymSecondaryIdle = "secondary_idle";
 
 }  // namespace camo::kernel

@@ -31,6 +31,10 @@ std::string ImageCache::key_for(const KernelConfig& cfg, uint64_t seed,
       cfg.pac_failure_threshold, cfg.log_pac_failures ? 1u : 0u,
       cfg.preempt ? 1u : 0u, cfg.protect_trapframe ? 1u : 0u,
       cfg.banked_keys ? 1u : 0u, static_cast<unsigned long long>(seed));
+  // Appended (rather than inline) and only when multi-core so every
+  // uniprocessor key is byte-identical to the pre-SMP scheme: caches shared
+  // across old and new callers keep hitting.
+  if (cfg.num_cpus > 1) key += strformat(" cpus=%u", cfg.num_cpus);
   for (const TaskSpec& t : tasks) {
     key += strformat(" t=%llx,%llx,%llx",
                      static_cast<unsigned long long>(t.user_pc),

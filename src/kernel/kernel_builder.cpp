@@ -114,7 +114,10 @@ void emit_task_ptr(FunctionBuilder& f, uint8_t dst, uint8_t pid_reg,
 }  // namespace
 
 obj::Program KernelBuilder::build() {
-  if (tasks_.size() + 1 > kMaxTasks) fail("kernel: too many tasks");
+  const unsigned num_cpus = cfg_.num_cpus == 0 ? 1 : cfg_.num_cpus;
+  // Every core needs a swapper slot in task_array (core 0 owns slot 0,
+  // cores 1..N-1 the slots just past the user tasks).
+  if (tasks_.size() + num_cpus > kMaxTasks) fail("kernel: too many tasks");
   if (cfg_.pac_failure_threshold > 4095)
     fail("kernel: pac threshold must fit cmp immediate");
   obj::Program k;
@@ -133,6 +136,10 @@ obj::Program KernelBuilder::build() {
   // restore them on every exception return.
   const bool restore_keys_at_switch = protected_build && cfg_.banked_keys;
   const uint64_t num_tasks = tasks_.size() + 1;  // + swapper
+  // SMP builds add the runqueue lock, the cfs-lite migrating scheduler, the
+  // IPI mailbox and secondary_idle. Everything below is gated on this flag
+  // so num_cpus == 1 emits the classic image byte-for-byte.
+  const bool smp = num_cpus > 1;
 
   // =========================================================================
   // Data
@@ -215,6 +222,14 @@ obj::Program KernelBuilder::build() {
   k.add_bss(kSymWorkCounter, 8);
   k.add_bss(kSymHookCounter, 8);
   k.add_bss(kSymPwnedFlag, 8);
+  if (smp) {
+    // SMP-only state: the runqueue spinlock, one doorbell word per core and
+    // the boot gate the secondaries spin on.
+    k.add_bss(kSymSchedLock, 8);
+    k.add_bss(kSymIpiMailbox, 8 * num_cpus);
+    k.add_bss(kSymIpiCount, 8);
+    k.add_bss(kSymSmpOnline, 8);
+  }
 
   // =========================================================================
   // Exception vectors and entry stubs
@@ -329,6 +344,13 @@ obj::Program KernelBuilder::build() {
     auto& f = k.add_function("el1_irq_entry");
     f.set_no_instrument();
     f.stp_pre(9, 10, kSp, -16);
+    if (smp) {
+      // Ack every latched source (ISR_EL1 is write-1-to-clear). Kernel-mode
+      // IRQs only bump jiffies — rescheduling happens on the EL0 path, so
+      // an IPI caught here still takes effect at the next schedule poll.
+      f.mrs(9, SysReg::ISR_EL1);
+      f.msr(SysReg::ISR_EL1, 9);
+    }
     f.mov_sym(9, kSymJiffies);
     f.ldr(10, 9, 0);
     f.add_i(10, 10, 1);
@@ -344,7 +366,29 @@ obj::Program KernelBuilder::build() {
     f.ldr(10, 9, 0);
     f.add_i(10, 10, 1);
     f.str(10, 9, 0);
-    if (cfg_.preempt) f.bl_sym("schedule");
+    if (smp) {
+      // Read-and-ack the source latch; on an IPI, clear this core's mailbox
+      // word and count the doorbell. Both IRQ sources (timer tick, IPI)
+      // warrant a reschedule, so the schedule call is unconditional.
+      const Label no_ipi = f.make_label();
+      f.mrs(9, SysReg::ISR_EL1);
+      f.msr(SysReg::ISR_EL1, 9);
+      f.and_i(10, 9, static_cast<uint16_t>(cpu::Cpu::kIrqSrcIpi));
+      f.cbz(10, no_ipi);
+      f.mrs(11, SysReg::MPIDR_EL1);
+      f.mov_sym(12, kSymIpiMailbox);
+      f.lsl_i(11, 11, 3);
+      f.add(12, 12, 11);
+      f.str(kZr, 12, 0);
+      f.mov_sym(12, kSymIpiCount);
+      f.ldr(11, 12, 0);
+      f.add_i(11, 11, 1);
+      f.str(11, 12, 0);
+      f.bind(no_ipi);
+      f.bl_sym("schedule");
+    } else if (cfg_.preempt) {
+      f.bl_sym("schedule");
+    }
     f.frame_pop_ret();
   }
 
@@ -478,7 +522,7 @@ obj::Program KernelBuilder::build() {
   // Scheduler (§5.2)
   // =========================================================================
 
-  {
+  if (!smp) {
     auto& f = k.add_function("schedule");
     const Label loop = f.make_label();
     const Label advance = f.make_label();
@@ -536,6 +580,126 @@ obj::Program KernelBuilder::build() {
     f.bind(out);
     f.ldr(19, kSp, 0);
     f.frame_pop_ret(16);
+  } else {
+    // SMP schedule: one shared runqueue under sched_lock. Pick the runnable
+    // task with the smallest virtual runtime (cfs-lite) regardless of which
+    // core it last ran on — tasks migrate freely; cpu_switch_to reinstalls
+    // their user keys on the destination core. The switched-out task is NOT
+    // published as Runnable here: cpu_switch_to does that only after its SP
+    // is saved and signed, so a concurrent core can never steal a task with
+    // a half-written switch frame.
+    auto& f = k.add_function("schedule");
+    const Label spin = f.make_label();
+    const Label pick_loop = f.make_label();
+    const Label consider = f.make_label();
+    const Label pick_next = f.make_label();
+    const Label pick_done = f.make_label();
+    const Label have_best = f.make_label();
+    const Label to_swapper = f.make_label();
+    const Label swapper0 = f.make_label();
+    const Label check_same = f.make_label();
+    const Label no_wrap = f.make_label();
+    const Label no_kick = f.make_label();
+    const Label unlock_out = f.make_label();
+    const Label out = f.make_label();
+    f.frame_push(16);
+    f.str(19, kSp, 0);
+    f.mrs(19, SysReg::TPIDR_EL1);  // x19 = prev
+    // Acquire the runqueue lock. SWP is a single instruction, hence atomic
+    // under the machine's quantum interleaver; a spinning core burns its
+    // quantum while the holder progresses, so the wait is bounded.
+    f.mov_sym(9, kSymSchedLock);
+    f.mov_imm(10, 1);
+    f.bind(spin);
+    f.swp(11, 9, 10);
+    f.cbnz(11, spin);
+    // x9 holds the lock address until release. x10 = n, x11 = pid iter,
+    // x12 = candidate, x13 = best, x14 = best vruntime, x2 = runnable
+    // count, x3 = this core's id.
+    f.mov_sym(10, "num_tasks_g");
+    f.ldr(10, 10, 0);
+    f.movz(13, 0, 0);
+    f.movn(14, 0, 0);  // best vruntime = 2^64 - 1
+    f.movz(2, 0, 0);
+    f.mov_imm(11, 1);
+    f.bind(pick_loop);
+    f.cmp(11, 10);
+    f.b_cond(isa::Cond::HS, pick_done);
+    emit_task_ptr(f, 12, 11, 15);
+    f.ldr(15, 12, task::kState);
+    f.cmp_i(15, static_cast<uint16_t>(TaskState::New));
+    f.b_cond(isa::Cond::EQ, consider);
+    f.cmp_i(15, static_cast<uint16_t>(TaskState::Runnable));
+    f.b_cond(isa::Cond::NE, pick_next);
+    f.bind(consider);
+    f.add_i(2, 2, 1);
+    // Strict less-than keeps the lowest pid on vruntime ties: the scan is
+    // ascending, so an equal vruntime never displaces an earlier winner.
+    f.ldr(15, 12, task::kVruntime);
+    f.cmp(15, 14);
+    f.b_cond(isa::Cond::HS, pick_next);
+    f.mov(14, 15);
+    f.mov(13, 12);
+    f.bind(pick_next);
+    f.add_i(11, 11, 1);
+    f.b(pick_loop);
+    f.bind(pick_done);
+    f.cbnz(13, have_best);
+    // Nothing runnable: keep running prev while it may run; a dead prev
+    // falls back to this core's swapper (slot 0 on core 0, slot n+c-1 for
+    // core c — the slots just past the user tasks).
+    f.ldr(15, 19, task::kState);
+    f.cmp_i(15, static_cast<uint16_t>(TaskState::Current));
+    f.b_cond(isa::Cond::EQ, unlock_out);
+    f.bind(to_swapper);
+    f.mrs(3, SysReg::MPIDR_EL1);
+    f.cbz(3, swapper0);
+    f.add(11, 10, 3);
+    f.sub_i(11, 11, 1);
+    emit_task_ptr(f, 13, 11, 15);
+    f.b(check_same);
+    f.bind(swapper0);
+    f.mov_sym(13, kSymTaskArray);
+    f.b(check_same);
+    f.bind(have_best);
+    // Advance the pick's virtual runtime so repeated picks rotate fairly.
+    f.add_i(14, 14, 1);
+    f.str(14, 13, task::kVruntime);
+    f.bind(check_same);
+    f.cmp(13, 19);
+    f.b_cond(isa::Cond::EQ, unlock_out);
+    // Claim next for this core, then release the lock.
+    f.mov_imm(15, static_cast<uint64_t>(TaskState::Current));
+    f.str(15, 13, task::kState);
+    f.mrs(3, SysReg::MPIDR_EL1);
+    f.str(3, 13, task::kCpu);
+    f.str(kZr, 9, 0);
+    // IPI kick: when other runnable work remains, ring the next core's
+    // doorbell (mailbox word + HVC) so it reschedules promptly.
+    f.cmp_i(2, 2);
+    f.b_cond(isa::Cond::LO, no_kick);
+    f.add_i(3, 3, 1);
+    f.cmp_i(3, static_cast<uint16_t>(num_cpus));
+    f.b_cond(isa::Cond::LO, no_wrap);
+    f.movz(3, 0, 0);
+    f.bind(no_wrap);
+    f.mov_sym(15, kSymIpiMailbox);
+    f.lsl_i(4, 3, 3);
+    f.add(15, 15, 4);
+    f.mov_imm(4, 1);
+    f.str(4, 15, 0);
+    f.mov(0, 3);
+    f.hvc(hvc_num(HvcCall::SendIpi));
+    f.bind(no_kick);
+    f.mov(0, 19);
+    f.mov(1, 13);
+    f.bl_sym(kSymCpuSwitchTo);
+    f.b(out);
+    f.bind(unlock_out);
+    f.str(kZr, 9, 0);
+    f.bind(out);
+    f.ldr(19, kSp, 0);
+    f.frame_pop_ret(16);
   }
 
   // cpu_switch_to(prev=x0, next=x1): saves callee-saved state on prev's
@@ -559,6 +723,18 @@ obj::Program KernelBuilder::build() {
     f.str(9, 0, task::kSavedSpEl0);
     f.mov_from_sp(9);
     f.store_protected(9, 0, task::kKsp, kTypeTaskSp, PacKey::DB);
+    if (smp) {
+      // Publish prev as stealable only now that its SP is saved and signed:
+      // a core that picks it up resumes a complete, authenticated switch
+      // frame. Dead tasks stay Dead; nothing below writes prev's state.
+      const Label keep = f.make_label();
+      f.ldr(9, 0, task::kState);
+      f.cmp_i(9, static_cast<uint16_t>(TaskState::Current));
+      f.b_cond(isa::Cond::NE, keep);
+      f.mov_imm(9, static_cast<uint64_t>(TaskState::Runnable));
+      f.str(9, 0, task::kState);
+      f.bind(keep);
+    }
     f.msr(SysReg::TPIDR_EL1, 1);
     // Switch user address space when it differs (swapper keeps whatever
     // mapping is live — it never touches user memory).
@@ -1112,8 +1288,35 @@ obj::Program KernelBuilder::build() {
     f.b(task_loop);
     f.bind(tasks_done);
 
+    if (smp) {
+      // Swapper slots for cores 1..N-1 live just past the user tasks; the
+      // host points each secondary's TPIDR_EL1 here before releasing it.
+      for (unsigned c = 1; c < num_cpus; ++c) {
+        const uint64_t slot = num_tasks + c - 1;
+        f.mov_sym(9, kSymTaskArray);
+        f.mov_imm(10, slot * kTaskSize);
+        f.add(9, 9, 10);
+        f.str(kZr, 9, task::kPid);
+        f.mov_imm(10, static_cast<uint64_t>(TaskState::Current));
+        f.str(10, 9, task::kState);
+        f.mov_imm(10, kSwapperSpace);
+        f.str(10, 9, task::kSpace);
+        f.mov_imm(10, kBootStackTop - c * kKernelStackSize);
+        f.str(10, 9, task::kKstackTop);
+        f.mov_imm(10, c);
+        f.str(10, 9, task::kCpu);
+      }
+    }
+
     f.bl_sym("kernel_late_init");
     f.hvc(hvc_num(HvcCall::Lockdown));
+    if (smp) {
+      // Release the secondaries only after keys, signed pointers and the
+      // file layer are ready and the MMU registers are locked down.
+      f.mov_sym(9, kSymSmpOnline);
+      f.mov_imm(10, 1);
+      f.str(10, 9, 0);
+    }
 
     // Idle: keep scheduling until every user task has exited.
     f.bind(idle);
@@ -1121,6 +1324,42 @@ obj::Program KernelBuilder::build() {
     f.mov_sym(9, "num_tasks_g");
     f.ldr(9, 9, 0);
     f.mov_imm(10, 1);  // pid iterator
+    f.bind(check_loop);
+    f.cmp(10, 9);
+    f.b_cond(isa::Cond::HS, all_done);
+    emit_task_ptr(f, 11, 10, 12);
+    f.ldr(12, 11, task::kState);
+    f.cmp_i(12, static_cast<uint16_t>(TaskState::Dead));
+    f.b_cond(isa::Cond::NE, not_done);
+    f.add_i(10, 10, 1);
+    f.b(check_loop);
+    f.bind(not_done);
+    f.b(idle);
+    f.bind(all_done);
+    f.hlt(kHaltDone);
+  }
+
+  // secondary_idle: entry point for cores 1..N-1. The host "firmware" sets
+  // up SCTLR/VBAR/keys/SP/TPIDR and jumps here; the core waits for core 0
+  // to finish boot, then runs the same schedule-until-all-dead idle loop
+  // as early_boot.
+  if (smp) {
+    auto& f = k.add_function(kSymSecondaryIdle);
+    f.set_no_instrument();
+    const Label wait = f.make_label();
+    const Label idle = f.make_label();
+    const Label check_loop = f.make_label();
+    const Label not_done = f.make_label();
+    const Label all_done = f.make_label();
+    f.mov_sym(9, kSymSmpOnline);
+    f.bind(wait);
+    f.ldr(10, 9, 0);
+    f.cbz(10, wait);
+    f.bind(idle);
+    f.bl_sym("schedule");
+    f.mov_sym(9, "num_tasks_g");
+    f.ldr(9, 9, 0);
+    f.mov_imm(10, 1);
     f.bind(check_loop);
     f.cmp(10, 9);
     f.b_cond(isa::Cond::HS, all_done);

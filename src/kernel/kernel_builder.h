@@ -42,6 +42,10 @@ struct KernelConfig {
   /// and the XOM setter call disappear; per-task user keys are installed at
   /// context switch only (as Linux does), not on every exception return.
   bool banked_keys = false;
+  /// Guest core count. 1 (the default) emits the classic uniprocessor image
+  /// byte-for-byte; >1 adds the SMP runqueue lock, the cfs-lite migrating
+  /// scheduler, per-CPU swapper slots, the IPI mailbox and secondary_idle.
+  unsigned num_cpus = 1;
 };
 
 /// One user thread: where it starts, its stack, its address space and its

@@ -17,13 +17,71 @@ Machine::Machine(MachineConfig cfg)
         // kernel build; setting either flag enables both sides coherently.
         cfg.kernel.banked_keys |= cfg.cpu.banked_keys;
         cfg.cpu.banked_keys |= cfg.kernel.banked_keys;
+        // Core count likewise spans both sides: the machine instantiates
+        // `cores` CPUs and the kernel image must be built for that many
+        // (swapper slots, scheduler shape). Either setting raises the other.
+        const unsigned want = std::max(cfg.cores == 0 ? 1u : cfg.cores,
+                                       cfg.kernel.num_cpus == 0
+                                           ? 1u
+                                           : cfg.kernel.num_cpus);
+        cfg.cores = want;
+        cfg.kernel.num_cpus = want;
         return cfg;
       }()),
       pm_(cfg.phys_bytes),
       mmu_(pm_, cfg.cpu.layout),
       hv_(pm_, mmu_),
       cpu_(mmu_, cfg.cpu),
-      kb_(cfg.kernel) {}
+      kb_(cfg.kernel) {
+  // Secondary cores: own stage-1 Mmu wired to the hypervisor-shared kernel
+  // map and stage-2 overlay, own Cpu registered as an IPI target.
+  for (unsigned c = 1; c < cfg_.cores; ++c) {
+    SecondaryCore sc;
+    sc.mmu = std::make_unique<mem::Mmu>(pm_, cfg_.cpu.layout);
+    hv_.adopt_mmu(*sc.mmu);
+    sc.cpu = std::make_unique<cpu::Cpu>(*sc.mmu, cfg_.cpu);
+    sc.cpu->set_cpu_id(c);
+    hv_.install(*sc.cpu);
+    secondary_.push_back(std::move(sc));
+  }
+}
+
+cpu::Cpu& Machine::core(unsigned c) {
+  if (c == 0) return cpu_;
+  if (c > secondary_.size()) fail("machine: bad core index");
+  return *secondary_[c - 1].cpu;
+}
+
+const cpu::Cpu& Machine::core(unsigned c) const {
+  if (c == 0) return cpu_;
+  if (c > secondary_.size()) fail("machine: bad core index");
+  return *secondary_[c - 1].cpu;
+}
+
+uint64_t Machine::total_retired() const {
+  uint64_t n = cpu_.retired();
+  for (const auto& sc : secondary_) n += sc.cpu->retired();
+  return n;
+}
+
+bool Machine::halted() const {
+  if (secondary_.empty()) return cpu_.halted();
+  bool all = true;
+  for (unsigned c = 0; c < cores(); ++c) {
+    const cpu::Cpu& cc = core(c);
+    if (cc.halted() && cc.halt_code() != kHaltDone) return true;
+    all = all && cc.halted();
+  }
+  return all;
+}
+
+uint64_t Machine::halt_code() const {
+  for (unsigned c = 0; c < cores(); ++c) {
+    const cpu::Cpu& cc = core(c);
+    if (cc.halted() && cc.halt_code() != kHaltDone) return cc.halt_code();
+  }
+  return cpu_.halt_code();
+}
 
 int Machine::add_user_program(obj::Program prog, const std::string& entry) {
   if (boot_) fail("machine: add programs before boot()");
@@ -97,32 +155,91 @@ void Machine::boot() {
   }
 
   if (cfg_.kernel.preempt) cpu_.set_timer_period(cfg_.preempt_timeslice);
+
+  // Secondary bring-up: host-side "PSCI firmware" mirroring what core 0 does
+  // for itself in early_boot plus what Bootloader::install staged — PAuth
+  // enable bits, vectors, kernel keys (or the per-core bank), a private boot
+  // stack, TPIDR_EL1 at the core's swapper slot, and the pc parked at
+  // secondary_idle (which spins until core 0 raises smp_online).
+  if (!secondary_.empty()) {
+    const obj::Image& img = boot_->kernel_image;
+    const uint64_t task_array = img.symbol(kSymTaskArray);
+    const bool protected_build =
+        cfg_.kernel.protection.backward != compiler::BackwardScheme::None ||
+        cfg_.kernel.protection.forward_cfi || cfg_.kernel.protection.dfi;
+    for (unsigned c = 1; c < cores(); ++c) {
+      cpu::Cpu& cc = core(c);
+      const uint64_t stack_top = kBootStackTop - c * kKernelStackSize;
+      hv_.map_kernel_rw(stack_top - kKernelStackSize, kKernelStackSize);
+      cc.pstate.el = mem::El::El1;
+      cc.pstate.irq_masked = true;
+      cc.set_sysreg(isa::SysReg::SCTLR_EL1,
+                    isa::kSctlrEnIA | isa::kSctlrEnIB | isa::kSctlrEnDA |
+                        isa::kSctlrEnDB);
+      cc.set_sysreg(isa::SysReg::VBAR_EL1, img.symbol("vectors"));
+      cc.set_sp_el(mem::El::El1, stack_top);
+      // Swapper slot for core c sits just past the user tasks.
+      cc.set_sysreg(isa::SysReg::TPIDR_EL1,
+                    task_array + (kb_.task_count() + c) * kTaskSize);
+      cc.pc = img.symbol(kSymSecondaryIdle);
+      if (cfg_.cpu.banked_keys) {
+        cc.set_kernel_bank_key(cpu::PacKey::IA, boot_->keys.ia);
+        cc.set_kernel_bank_key(cpu::PacKey::IB, boot_->keys.ib);
+        cc.set_kernel_bank_key(cpu::PacKey::DA, boot_->keys.da);
+        cc.set_kernel_bank_key(cpu::PacKey::DB, boot_->keys.db);
+        cc.set_kernel_bank_key(cpu::PacKey::GA, boot_->keys.ga);
+      } else if (protected_build) {
+        // Same halves the XOM key setter writes on core 0 (Lo=k0, Hi=w0).
+        const auto install = [&cc](isa::SysReg lo, isa::SysReg hi,
+                                   const qarma::Key128& k) {
+          cc.set_sysreg(lo, k.k0);
+          cc.set_sysreg(hi, k.w0);
+        };
+        install(isa::SysReg::APIAKeyLo, isa::SysReg::APIAKeyHi,
+                boot_->keys.ia);
+        install(isa::SysReg::APIBKeyLo, isa::SysReg::APIBKeyHi,
+                boot_->keys.ib);
+        install(isa::SysReg::APDAKeyLo, isa::SysReg::APDAKeyHi,
+                boot_->keys.da);
+        install(isa::SysReg::APDBKeyLo, isa::SysReg::APDBKeyHi,
+                boot_->keys.db);
+        install(isa::SysReg::APGAKeyLo, isa::SysReg::APGAKeyHi,
+                boot_->keys.ga);
+      }
+      if (cfg_.kernel.preempt) cc.set_timer_period(cfg_.preempt_timeslice);
+    }
+  }
 }
 
 void Machine::attach_observability() {
   stats_ = std::make_unique<obs::Collector>(cfg_.obs);
-  cpu_.set_trace_sink(stats_.get());
-  cpu_.set_cycle_attributor(stats_.get());
-  if (cfg_.obs.callgraph) cpu_.set_cf_sink(stats_.get());
+  // Every core feeds the one per-machine collector; obs sinks never cost
+  // simulated cycles, and the interleaver's set_active_cpu tags retirements
+  // with the emitting core for the per-CPU counters.
+  for (unsigned c = 0; c < cores(); ++c) {
+    cpu::Cpu& cc = core(c);
+    cc.set_trace_sink(stats_.get());
+    cc.set_cycle_attributor(stats_.get());
+    if (cfg_.obs.callgraph) cc.set_cf_sink(stats_.get());
+    cc.set_audit_sink(stats_.get());
+    if (cfg_.obs.coverage) cc.set_coverage(&stats_->coverage());
+  }
+  if (cores() > 1) stats_->enable_percpu(cores());
   hv_.set_trace_sink(stats_.get());
   // Security audit stream (DESIGN.md §3f): CPU key/PAC/EL events and
   // hypervisor denials land in the collector's AuditLog, stamped with this
   // machine's fleet identity so merged logs stay per-machine attributable.
   stats_->audit_log().set_machine_id(cfg_.machine_id);
-  cpu_.set_audit_sink(stats_.get());
   hv_.set_audit_sink(stats_.get());
   // Flight-recorder state provider: fills the machine-state snapshot at
   // capture time. Everything read there is guest-deterministic.
   stats_->flight().set_state_provider(
       [this](obs::FlightSnapshot& s) { fill_snapshot(s); });
 
-  // Execution coverage (DESIGN.md §3g): attach the PA-keyed map and
-  // annotate it with kernel functions + protected-table rows so report
-  // tooling can list never-executed rows.
-  if (cfg_.obs.coverage) {
-    cpu_.set_coverage(&stats_->coverage());
-    annotate_coverage_regions();
-  }
+  // Execution coverage (DESIGN.md §3g): annotate the PA-keyed map with
+  // kernel functions + protected-table rows so report tooling can list
+  // never-executed rows (the per-core attach happened above).
+  if (cfg_.obs.coverage) annotate_coverage_regions();
 
   if (cfg_.obs.profile || cfg_.obs.callgraph) {
     const auto add_region = [&](const std::string& name, uint64_t start,
@@ -146,50 +263,59 @@ void Machine::attach_observability() {
 
   if (boot_->kernel_image.has_symbol(kSymCpuSwitchTo)) {
     obs::Collector* c = stats_.get();
-    cpu_.add_breakpoint(
-        boot_->kernel_image.symbol(kSymCpuSwitchTo), [c](cpu::Cpu& cc) {
-          obs::TraceEvent e;
-          e.kind = obs::EventKind::ContextSwitch;
-          e.cycles = cc.cycles();
-          e.pc = cc.pc;
-          e.a = cc.x(0);  // prev task struct
-          e.b = cc.x(1);  // next task struct
-          e.el = static_cast<uint8_t>(cc.pstate.el);
-          c->emit(e);
-        });
+    const uint64_t va = boot_->kernel_image.symbol(kSymCpuSwitchTo);
+    for (unsigned i = 0; i < cores(); ++i) {
+      core(i).add_breakpoint(va, [c](cpu::Cpu& cc) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::ContextSwitch;
+        e.cycles = cc.cycles();
+        e.pc = cc.pc;
+        e.a = cc.x(0);  // prev task struct
+        e.b = cc.x(1);  // next task struct
+        e.el = static_cast<uint8_t>(cc.pstate.el);
+        c->emit(e);
+      });
+    }
   }
 }
 
 void Machine::fill_snapshot(obs::FlightSnapshot& s) const {
   using isa::SysReg;
-  for (unsigned i = 0; i < 31; ++i) s.x[i] = cpu_.x(i);
-  s.sp_el0 = cpu_.sp_el(mem::El::El0);
-  s.sp_el1 = cpu_.sp_el(mem::El::El1);
-  s.pc = cpu_.pc;
-  s.el = static_cast<uint8_t>(cpu_.pstate.el);
-  s.banked_keys = cpu_.config().banked_keys;
-  s.elr_el1 = cpu_.sysreg(SysReg::ELR_EL1);
-  s.spsr_el1 = cpu_.sysreg(SysReg::SPSR_EL1);
-  s.esr_el1 = cpu_.sysreg(SysReg::ESR_EL1);
-  s.far_el1 = cpu_.sysreg(SysReg::FAR_EL1);
-  s.vbar_el1 = cpu_.sysreg(SysReg::VBAR_EL1);
-  s.sctlr_el1 = cpu_.sysreg(SysReg::SCTLR_EL1);
+  // Snapshot the core the interleaver ran last — the one whose retirement
+  // (or violation) prompted the capture. Single-core machines always read
+  // core 0, exactly the pre-SMP behaviour.
+  const cpu::Cpu& cc = core(last_core_);
+  const mem::Mmu& mm =
+      last_core_ == 0 ? mmu_ : *secondary_[last_core_ - 1].mmu;
+  for (unsigned i = 0; i < 31; ++i) s.x[i] = cc.x(i);
+  s.sp_el0 = cc.sp_el(mem::El::El0);
+  s.sp_el1 = cc.sp_el(mem::El::El1);
+  s.pc = cc.pc;
+  s.el = static_cast<uint8_t>(cc.pstate.el);
+  s.banked_keys = cc.config().banked_keys;
+  s.elr_el1 = cc.sysreg(SysReg::ELR_EL1);
+  s.spsr_el1 = cc.sysreg(SysReg::SPSR_EL1);
+  s.esr_el1 = cc.sysreg(SysReg::ESR_EL1);
+  s.far_el1 = cc.sysreg(SysReg::FAR_EL1);
+  s.vbar_el1 = cc.sysreg(SysReg::VBAR_EL1);
+  s.sctlr_el1 = cc.sysreg(SysReg::SCTLR_EL1);
   s.pending_esr = s.esr_el1;  // last syndrome delivered to EL1
   for (unsigned k = 0; k < 5; ++k) {
     const auto key = static_cast<cpu::PacKey>(k);
-    s.keys[k].lo = cpu_.sysreg(static_cast<SysReg>(k * 2));
-    s.keys[k].hi = cpu_.sysreg(static_cast<SysReg>(k * 2 + 1));
-    s.keys[k].prov = cpu_.sysreg_key_provenance(key);
-    const qarma::Key128& b = cpu_.kernel_bank_key(key);
+    s.keys[k].lo = cc.sysreg(static_cast<SysReg>(k * 2));
+    s.keys[k].hi = cc.sysreg(static_cast<SysReg>(k * 2 + 1));
+    s.keys[k].prov = cc.sysreg_key_provenance(key);
+    const qarma::Key128& b = cc.kernel_bank_key(key);
     s.bank[k].lo = b.k0;
     s.bank[k].hi = b.w0;
-    s.bank[k].prov = cpu_.bank_key_provenance(key);
+    s.bank[k].prov = cc.bank_key_provenance(key);
   }
-  const mem::Mmu::FetchEpoch ep = mmu_.fetch_epoch(cpu_.pc);
+  const mem::Mmu::FetchEpoch ep = mm.fetch_epoch(cc.pc);
   // Map uids are process-global host identity (ABA bookkeeping), not
   // guest state: only the deterministic generations go into the bundle.
   s.s1_gen = ep.s1_gen;
   s.s2_gen = ep.s2_gen;
+  s.cpu = static_cast<uint8_t>(last_core_);
 }
 
 void Machine::annotate_coverage_regions() {
@@ -259,36 +385,93 @@ void Machine::annotate_coverage_regions() {
 
 bool Machine::run(uint64_t max_steps) {
   const auto t0 = std::chrono::steady_clock::now();
-  cpu_.run(max_steps);
+  if (secondary_.empty()) {
+    cpu_.run(max_steps);
+  } else {
+    // Deterministic round-robin quantum interleaver: core order, quantum
+    // size and the step budget are all part of the simulated contract, so
+    // the interleaving — and therefore every guest-visible outcome — is a
+    // pure function of (config, cores), bit-identical across hosts, load
+    // and fleet --jobs values. One instruction is never split, which is
+    // what makes the guest's SWP runqueue lock atomic.
+    uint64_t remaining = max_steps;
+    while (remaining > 0) {
+      bool progress = false;
+      bool abnormal = false;
+      for (unsigned c = 0; c < cores() && remaining > 0; ++c) {
+        cpu::Cpu& cc = core(c);
+        if (cc.halted()) {
+          // A panic on any core stops the whole machine mid-round.
+          if (cc.halt_code() != kHaltDone) abnormal = true;
+          if (abnormal) break;
+          continue;
+        }
+        last_core_ = c;
+        if (stats_) stats_->set_active_cpu(c);
+        const uint64_t want = std::min<uint64_t>(cfg_.smp_quantum, remaining);
+        const uint64_t ret = cc.run(want);
+        if (ret > 0) progress = true;
+        // Budget by retirements, but charge a full quantum for a turn that
+        // retired nothing (pure IRQ delivery) so the loop always advances.
+        remaining -= std::min(remaining, ret > 0 ? ret : want);
+        if (cc.halted() && cc.halt_code() != kHaltDone) {
+          abnormal = true;
+          break;
+        }
+      }
+      if (abnormal || !progress) break;
+    }
+  }
   host_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
   if (stats_) {
     // Fast-path cache statistics are host-side and accumulate inside the
-    // CPU/MMU; publish them as registry counters by delta so the registry
-    // stays monotonic across multiple run() calls.
+    // CPUs/MMUs; publish them as registry counters by delta so the registry
+    // stays monotonic across multiple run() calls. Multi-core machines sum
+    // across cores — at cores=1 the sums equal the old single-core values.
     obs::Registry& reg = stats_->metrics();
     const auto sync = [&reg](const char* name, uint64_t total) {
       obs::Counter& c = reg.counter(name);
       if (total > c.value()) c.inc(total - c.value());
     };
-    const auto& fp = cpu_.fast_path_stats();
-    sync("fastpath.icache.hit", fp.icache_hits);
-    sync("fastpath.icache.miss", fp.icache_misses);
-    sync("fastpath.icache.redecode", fp.icache_redecodes);
-    const auto& tlb = mmu_.tlb_stats();
-    sync("fastpath.tlb.hit", tlb.hits);
-    sync("fastpath.tlb.miss", tlb.misses);
-    sync("fastpath.tlb.flush", tlb.flushes);
-    const auto& pac = cpu_.pauth().pac_cache_stats();
-    sync("fastpath.pac.hit", pac.hits);
-    sync("fastpath.pac.miss", pac.misses);
-    const auto& sb = cpu_.superblock_stats();
-    sync("fastpath.sb.blocks", sb.blocks);
-    sync("fastpath.sb.hits", sb.hits);
-    sync("fastpath.sb.invalidations", sb.invalidations);
-    sync("fastpath.sb.chain_hits", sb.chain_hits);
+    uint64_t ic_hit = 0, ic_miss = 0, ic_re = 0;
+    uint64_t tlb_hit = 0, tlb_miss = 0, tlb_flush = 0;
+    uint64_t pac_hit = 0, pac_miss = 0;
+    uint64_t sb_blocks = 0, sb_hits = 0, sb_inval = 0, sb_chain = 0;
+    const auto add_core = [&](cpu::Cpu& cc, const mem::Mmu& mm) {
+      const auto& fp = cc.fast_path_stats();
+      ic_hit += fp.icache_hits;
+      ic_miss += fp.icache_misses;
+      ic_re += fp.icache_redecodes;
+      const auto& tlb = mm.tlb_stats();
+      tlb_hit += tlb.hits;
+      tlb_miss += tlb.misses;
+      tlb_flush += tlb.flushes;
+      const auto& pac = cc.pauth().pac_cache_stats();
+      pac_hit += pac.hits;
+      pac_miss += pac.misses;
+      const auto& sb = cc.superblock_stats();
+      sb_blocks += sb.blocks;
+      sb_hits += sb.hits;
+      sb_inval += sb.invalidations;
+      sb_chain += sb.chain_hits;
+    };
+    add_core(cpu_, mmu_);
+    for (const auto& sc : secondary_) add_core(*sc.cpu, *sc.mmu);
+    sync("fastpath.icache.hit", ic_hit);
+    sync("fastpath.icache.miss", ic_miss);
+    sync("fastpath.icache.redecode", ic_re);
+    sync("fastpath.tlb.hit", tlb_hit);
+    sync("fastpath.tlb.miss", tlb_miss);
+    sync("fastpath.tlb.flush", tlb_flush);
+    sync("fastpath.pac.hit", pac_hit);
+    sync("fastpath.pac.miss", pac_miss);
+    sync("fastpath.sb.blocks", sb_blocks);
+    sync("fastpath.sb.hits", sb_hits);
+    sync("fastpath.sb.invalidations", sb_inval);
+    sync("fastpath.sb.chain_hits", sb_chain);
     // Both the aggregate name (single-machine consumers, this registry's
     // own view) and the machine-id-namespaced name: fleet merges combine
     // many machines' registries in one process, where a shared gauge name
@@ -297,8 +480,20 @@ bool Machine::run(uint64_t max_steps) {
     reg.gauge("host.throughput").set(host_throughput());
     reg.gauge(strformat("host.throughput.m%u", cfg_.machine_id))
         .set(host_throughput());
+    // Per-core gauges, multi-core machines only (single-core registries
+    // keep their exact pre-SMP shape): host-side informational readings.
+    if (!secondary_.empty()) {
+      for (unsigned c = 0; c < cores(); ++c) {
+        const double tp =
+            host_seconds_ > 0
+                ? static_cast<double>(core(c).retired()) / host_seconds_
+                : 0;
+        reg.gauge(strformat("host.throughput.m%u.c%u", cfg_.machine_id, c))
+            .set(tp);
+      }
+    }
   }
-  return cpu_.halted();
+  return halted();
 }
 
 uint64_t Machine::kernel_symbol(const std::string& name) const {

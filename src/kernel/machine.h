@@ -30,6 +30,17 @@ struct MachineConfig {
   uint64_t seed = 0xC0FFEE;          ///< boot entropy (kernel + user keys)
   uint64_t phys_bytes = 64ull << 20;
   uint64_t preempt_timeslice = 20000;  ///< cycles, when kernel.preempt is set
+  /// Guest core count. 1 (the default) is the classic uniprocessor machine,
+  /// bit-for-bit identical to the pre-SMP implementation. N > 1 instantiates
+  /// N cores sharing one physical memory and stage-2 view, each with its own
+  /// stage-1 state, key registers/bank, micro-TLB and superblock cache,
+  /// driven by a deterministic round-robin quantum interleaver. Kept
+  /// coherent with kernel.num_cpus (either setting raises the other).
+  unsigned cores = 1;
+  /// Interleaver quantum: max instructions one core retires before the next
+  /// core runs. Part of the simulated contract (like preempt_timeslice):
+  /// results are a pure function of (config, cores) — never host timing.
+  uint64_t smp_quantum = 10000;
   /// Identity of this machine within a multi-machine process (fleet task
   /// index). Namespaces the per-machine host gauges ("host.throughput.m<id>")
   /// so merged fleet registries keep every machine's reading distinct.
@@ -70,22 +81,33 @@ class Machine {
 
   /// Total host seconds spent in run() so far.
   double host_seconds() const { return host_seconds_; }
-  /// Guest instructions retired per host second across all run() calls
-  /// (0 before the first run). Also published as the "host.throughput"
-  /// gauge on stats() when observability is enabled.
+  /// Guest instructions retired per host second across all run() calls and
+  /// all cores (0 before the first run). Also published as the
+  /// "host.throughput" gauge on stats() when observability is enabled.
   double host_throughput() const {
     return host_seconds_ > 0
-               ? static_cast<double>(cpu_.retired()) / host_seconds_
+               ? static_cast<double>(total_retired()) / host_seconds_
                : 0;
   }
 
-  bool halted() const { return cpu_.halted(); }
-  uint64_t halt_code() const { return cpu_.halt_code(); }
+  /// Machine-level halt: a single-core machine is halted when its core is;
+  /// a multi-core machine is halted when any core halted abnormally (panic
+  /// stops the machine) or every core reached its normal HLT.
+  bool halted() const;
+  /// First abnormal halt code in core order, else core 0's code.
+  uint64_t halt_code() const;
   const std::string& console() const { return hv_.console(); }
 
   // ---- component access ----
   cpu::Cpu& cpu() { return cpu_; }
   const cpu::Cpu& cpu() const { return cpu_; }
+  /// Number of guest cores (== config().cores after coherence).
+  unsigned cores() const { return 1 + static_cast<unsigned>(secondary_.size()); }
+  /// Core `c` (0 is the primary — same object cpu() returns).
+  cpu::Cpu& core(unsigned c);
+  const cpu::Cpu& core(unsigned c) const;
+  /// Instructions retired summed over all cores (what fleet stats report).
+  uint64_t total_retired() const;
   mem::Mmu& mmu() { return mmu_; }
   hyp::Hypervisor& hyp() { return hv_; }
   const core::BootResult& boot_result() const { return *boot_; }
@@ -127,6 +149,16 @@ class Machine {
   mem::Mmu mmu_;
   hyp::Hypervisor hv_;
   cpu::Cpu cpu_;
+  /// Cores 1..N-1: own stage-1 Mmu (sharing pm_ and the hypervisor's kernel
+  /// map + stage-2 overlay) and own Cpu (own key bank, micro-TLB, superblock
+  /// cache). Core 0 stays cpu_/mmu_ so every existing accessor is unchanged.
+  struct SecondaryCore {
+    std::unique_ptr<mem::Mmu> mmu;
+    std::unique_ptr<cpu::Cpu> cpu;
+  };
+  std::vector<SecondaryCore> secondary_;
+  /// Core the interleaver ran most recently (snapshot attribution).
+  unsigned last_core_ = 0;
   KernelBuilder kb_;
   std::unique_ptr<obs::Collector> stats_;
   std::unique_ptr<core::BootResult> boot_;

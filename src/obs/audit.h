@@ -89,6 +89,8 @@ struct AuditEvent {
   uint8_t mclass = 0;   ///< ModifierClass ordinal (Sign/Auth*)
   uint8_t bank = 0;     ///< KeyInstall: 1 = EL2 kernel bank, 0 = key register
   uint8_t aux = 0;      ///< kind-specific small payload (class, EL, outcome)
+  uint8_t cpu = 0;      ///< emitting core id within the machine (0 = core 0
+                        ///< and the only value single-core machines produce)
   uint16_t imm = 0;     ///< kind-specific 16-bit payload (sysreg)
 };
 

@@ -23,6 +23,9 @@ std::string validate_bench_json(const json::Value& doc) {
   const auto* jobs = doc.get("jobs");
   if (jobs && (!jobs->is_number() || jobs->as_number() < 1))
     return "\"jobs\" is not a number >= 1";
+  const auto* cores = doc.get("cores");
+  if (cores && (!cores->is_number() || cores->as_number() < 1))
+    return "\"cores\" is not a number >= 1";
   const auto* sb = doc.get("sb");
   if (sb && !sb->is_bool()) return "\"sb\" is not a bool";
   const auto* series = doc.get("series");
@@ -61,6 +64,8 @@ std::optional<BenchDoc> parse_bench_doc(const json::Value& doc,
     out.seed = static_cast<uint64_t>(seed->as_number());
   if (const auto* jobs = doc.get("jobs"))
     out.jobs = static_cast<unsigned>(jobs->as_number());
+  if (const auto* cores = doc.get("cores"))
+    out.cores = static_cast<unsigned>(cores->as_number());
   if (const auto* sb = doc.get("sb")) out.sb = sb->as_bool();
   const json::Value& series = *doc.get("series");
   out.series.reserve(series.size());

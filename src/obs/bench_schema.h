@@ -11,6 +11,12 @@
 //                                          // across (--jobs); wall-clock
 //                                          // series are not comparable
 //                                          // across different jobs values
+//     "cores": 2,                          // optional, absent means 1:
+//                                          // guest cores per machine
+//                                          // (--cores); changes simulated
+//                                          // results, so documents with
+//                                          // different cores are never
+//                                          // comparable
 //     "sb": false,                         // optional, absent means true:
 //                                          // whether the superblock engine
 //                                          // was allowed (--sb); host-side
@@ -49,6 +55,7 @@ struct BenchDoc {
   bool smoke = false;
   std::optional<uint64_t> seed;  ///< RNG seed the run used, when recorded
   unsigned jobs = 1;             ///< host threads of the run (absent = 1)
+  unsigned cores = 1;            ///< guest cores per machine (absent = 1)
   bool sb = true;                ///< superblock engine allowed (absent = true)
   std::vector<BenchSeriesPoint> series;
 };

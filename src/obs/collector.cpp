@@ -150,6 +150,15 @@ void Collector::audit(const AuditEvent& e) {
   }
 }
 
+void Collector::enable_percpu(unsigned cores) {
+  insn_cpu_.clear();
+  cycles_cpu_.clear();
+  for (unsigned c = 0; c < cores; ++c) {
+    insn_cpu_.push_back(&reg_.counter("insn.c" + std::to_string(c)));
+    cycles_cpu_.push_back(&reg_.counter("cycles.c" + std::to_string(c)));
+  }
+}
+
 void Collector::retire(uint64_t pc, uint8_t el, uint8_t op_class,
                        uint64_t cycles) {
   // retired_cycles_ is the cycle counter *before* this step (summing the
@@ -162,6 +171,10 @@ void Collector::retire(uint64_t pc, uint8_t el, uint8_t op_class,
   }
   if (op_class < static_cast<uint8_t>(OpClass::kCount))
     ops_[op_class]->inc();
+  if (active_cpu_ < insn_cpu_.size()) {
+    insn_cpu_[active_cpu_]->inc();
+    cycles_cpu_[active_cpu_]->inc(cycles);
+  }
   if (opts_.profile) prof_.retire(pc, el, op_class, cycles);
   if (opts_.callgraph) cg_.retire(pc, el, op_class, cycles);
 }

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/audit.h"
 #include "obs/callgraph.h"
@@ -87,6 +88,17 @@ class Collector : public TraceSink,
   const CallGraphProfiler& callgraph() const { return cg_; }
   const Options& options() const { return opts_; }
 
+  // Multi-core attribution -------------------------------------------------
+  /// Create the per-core "insn.c<k>" / "cycles.c<k>" counters. Called once
+  /// by multi-core Machines before boot; single-core machines never call it,
+  /// so their registry shape stays exactly the pre-SMP one.
+  void enable_percpu(unsigned cores);
+  /// Which core subsequent retire() samples belong to. The interleaver sets
+  /// this before each core's quantum; harmless no-op when enable_percpu was
+  /// never called.
+  void set_active_cpu(unsigned cpu) { active_cpu_ = cpu; }
+  unsigned active_cpu() const { return active_cpu_; }
+
   // Export ------------------------------------------------------------------
   /// Chrome trace_event JSON of the retained event window.
   std::string chrome_trace_json() const;
@@ -136,6 +148,10 @@ class Collector : public TraceSink,
   Counter* cycles_el_[3];
   Counter* insn_el_[3];
   Counter* ops_[static_cast<size_t>(OpClass::kCount)];
+  // Per-core retire attribution (empty unless enable_percpu was called).
+  std::vector<Counter*> insn_cpu_;
+  std::vector<Counter*> cycles_cpu_;
+  unsigned active_cpu_ = 0;
   Histogram* syscall_cycles_;
   Histogram* sign_to_auth_;
   Histogram* key_switch_;

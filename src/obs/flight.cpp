@@ -33,6 +33,9 @@ json::Value audit_event_json(const AuditEvent& e) {
   o.set("mclass", json::Value(static_cast<uint64_t>(e.mclass)));
   o.set("bank", json::Value(static_cast<uint64_t>(e.bank)));
   o.set("aux", json::Value(static_cast<uint64_t>(e.aux)));
+  // Emitted only when nonzero: absent means core 0, which keeps bundles
+  // recorded before the SMP refactor byte-identical on replay.
+  if (e.cpu != 0) o.set("cpu", json::Value(static_cast<uint64_t>(e.cpu)));
   o.set("imm", json::Value(static_cast<uint64_t>(e.imm)));
   return o;
 }
@@ -60,6 +63,7 @@ bool audit_event_from_json(const json::Value& v, AuditEvent* out) {
   e.mclass = static_cast<uint8_t>(u64("mclass"));
   e.bank = static_cast<uint8_t>(u64("bank"));
   e.aux = static_cast<uint8_t>(u64("aux"));
+  e.cpu = static_cast<uint8_t>(u64("cpu"));  // absent = core 0
   e.imm = static_cast<uint16_t>(u64("imm"));
   *out = e;
   return true;
@@ -118,6 +122,8 @@ json::Value flight_snapshot_json(const FlightSnapshot& s) {
   epoch.set("s2_gen", json::Value(s.s2_gen));
   o.set("mmu_epoch", std::move(epoch));
   o.set("pending_esr", json::Value(hex_u64(s.pending_esr)));
+  // Absent = core 0 (pre-SMP bundles stay byte-identical).
+  if (s.cpu != 0) o.set("cpu", json::Value(static_cast<uint64_t>(s.cpu)));
   return o;
 }
 

@@ -62,6 +62,11 @@ struct FlightSnapshot {
   /// not guest state, and would break bundle bit-identity within a process.
   uint64_t s1_gen = 0, s2_gen = 0;
   uint64_t pending_esr = 0;  ///< syndrome of an in-flight exception
+  /// Core the snapshot was taken from (the last core the interleaver ran).
+  /// Serialized only when nonzero so single-core bundles stay byte-identical
+  /// to pre-SMP captures, and deliberately excluded from snapshot_digest —
+  /// the digest compares architectural state, not machine topology.
+  uint8_t cpu = 0;
 };
 
 class FlightRecorder {

@@ -103,7 +103,7 @@ auto run_fleet(Pool& pool, size_t n, Factory&& factory, Task&& task)
     std::unique_ptr<kernel::Machine> m = factory(i);
     Slot& s = slots[i];
     s.result = task(i, *m);
-    s.instret = m->cpu().retired();
+    s.instret = m->total_retired();
     s.host_seconds = m->host_seconds();
     s.throughput = m->host_throughput();
     if (const obs::Collector* st = m->stats()) {

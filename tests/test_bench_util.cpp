@@ -154,6 +154,46 @@ TEST(BenchFlags, JobsFlagParsesClampsAndFallsBackToEnv) {
   }
 }
 
+TEST(BenchFlags, CoresFlagParsesClampsAndDefaultsToOne) {
+  {
+    Argv a({"bench", "--cores", "4", "--keep"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_EQ(f.cores, 4u);
+    ASSERT_EQ(a.argc, 2);
+    EXPECT_STREQ(a.argv()[1], "--keep");
+  }
+  {
+    Argv a({"bench", "--cores=2"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_EQ(f.cores, 2u);
+  }
+  {
+    Argv a({"bench", "--cores=100000"});  // clamp to the supported maximum
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_EQ(f.cores, 64u);
+  }
+  for (const char* bad : {"0", "-3", "+2", "many", "2x", ""}) {
+    Argv a({"bench", "--cores", bad});
+    Flags f;
+    const std::string err = Session::parse_flags(a.argc, a.argv(), f);
+    EXPECT_NE(err, "") << "--cores " << bad;
+    EXPECT_NE(err.find("--cores"), std::string::npos) << err;
+  }
+  {
+    // No flag means one guest core — and deliberately NO environment
+    // fallback: the artifact must say what was simulated.
+    setenv("CAMO_CORES", "8", 1);
+    Argv a({"bench"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_EQ(f.cores, 1u);
+    unsetenv("CAMO_CORES");
+  }
+}
+
 TEST(BenchFlags, NoFlagsLeavesArgvAlone) {
   Argv a({"bench", "pos1", "pos2"});
   Flags f;

@@ -313,6 +313,16 @@ TEST(PerfDiff, MarkdownReportsRunHeaders) {
   const std::string md2 = diff({base2}, {base2}, {}).markdown();
   EXPECT_NE(md2.find("jobs=2"), std::string::npos) << md2;
   EXPECT_NE(md2.find("engine=superblocks"), std::string::npos) << md2;
+
+  // The guest core count rides in the same header line (absent = 1).
+  EXPECT_NE(md2.find("cores=1"), std::string::npos) << md2;
+  auto base3 = base;
+  base3.cores = 2;
+  const auto rep3 = diff({base3}, {base3}, {});
+  ASSERT_EQ(rep3.headers.size(), 1u);
+  EXPECT_EQ(rep3.headers[0].cores, 2u);
+  EXPECT_NE(rep3.markdown().find("cores=2"), std::string::npos)
+      << rep3.markdown();
 }
 
 TEST(PerfDiff, SbHeaderFieldValidatesAndParses) {
@@ -353,6 +363,26 @@ TEST(PerfDiff, RefusesCrossJobsComparison) {
   EXPECT_TRUE(diff({base}, {cur}, {}).ok);
   auto other = doc("Other", {pt("c", "b", 1, "cycles")});
   other.jobs = 4;
+  EXPECT_TRUE(diff({base, other}, {cur, other}, {}).ok);
+}
+
+TEST(PerfDiff, RefusesCrossCoresComparison) {
+  auto base = doc("SMP", {pt("cores=2", "makespan", 1000, "cycles")});
+  auto cur = base;
+  cur.cores = 2;  // baseline implicitly cores = 1
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_FALSE(rep.ok);
+  EXPECT_TRUE(rep.deltas.empty());
+  EXPECT_NE(rep.error.find("--cores 1"), std::string::npos) << rep.error;
+  EXPECT_NE(rep.error.find("--cores 2"), std::string::npos) << rep.error;
+  EXPECT_NE(rep.markdown().find("FAIL"), std::string::npos);
+
+  // Matching cores values compare normally; different bench ids never
+  // cross-check cores.
+  base.cores = 2;
+  EXPECT_TRUE(diff({base}, {cur}, {}).ok);
+  auto other = doc("Other", {pt("c", "b", 1, "cycles")});
+  other.cores = 4;
   EXPECT_TRUE(diff({base, other}, {cur, other}, {}).ok);
 }
 
@@ -411,6 +441,43 @@ TEST(BenchSchema, JobsFieldParsesAndValidates) {
     const std::string t = std::string(R"({
       "schema": "camo-bench/v1", "bench": "b", "title": "t", "smoke": false,
       "jobs": )") + bad + R"(,
+      "series": [{"config": "c", "benchmark": "m", "value": 1, "unit": "u"}]
+    })";
+    const auto j = obs::json::Value::parse(t);
+    ASSERT_TRUE(j.has_value()) << t;
+    EXPECT_FALSE(obs::validate_bench_json(*j).empty()) << t;
+  }
+}
+
+TEST(BenchSchema, CoresFieldParsesAndValidates) {
+  const char* text = R"({
+    "schema": "camo-bench/v1", "bench": "SMP", "title": "t", "smoke": true,
+    "cores": 2,
+    "series": [{"config": "cores=2", "benchmark": "makespan", "value": 3,
+                "unit": "cycles"}]
+  })";
+  const auto json = obs::json::Value::parse(text);
+  ASSERT_TRUE(json.has_value());
+  std::string err;
+  const auto doc = obs::parse_bench_doc(*json, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->cores, 2u);
+
+  // Absent means 1 guest core: pre-SMP artifacts parse unchanged.
+  const char* absent = R"({
+    "schema": "camo-bench/v1", "bench": "b", "title": "t", "smoke": false,
+    "series": [{"config": "c", "benchmark": "m", "value": 1, "unit": "u"}]
+  })";
+  const auto j2 = obs::json::Value::parse(absent);
+  ASSERT_TRUE(j2.has_value());
+  const auto d2 = obs::parse_bench_doc(*j2, nullptr);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->cores, 1u);
+
+  for (const char* bad : {R"("two")", "0", "-2"}) {
+    const std::string t = std::string(R"({
+      "schema": "camo-bench/v1", "bench": "b", "title": "t", "smoke": false,
+      "cores": )") + bad + R"(,
       "series": [{"config": "c", "benchmark": "m", "value": 1, "unit": "u"}]
     })";
     const auto j = obs::json::Value::parse(t);

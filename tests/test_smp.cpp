@@ -1,0 +1,195 @@
+// Guest SMP (DESIGN.md §3h): the deterministic round-robin interleaver, the
+// cores=1 compatibility gate, fleet composability, IPI-driven migration, and
+// the cross-core trapframe attack's per-core audit attribution.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "attacks/attacks.h"
+#include "kernel/machine.h"
+#include "kernel/workloads.h"
+#include "obs/collector.h"
+#include "obs/json.h"
+#include "par/fleet.h"
+
+namespace camo {
+namespace {
+
+kernel::MachineConfig smp_config(unsigned cores, uint64_t quantum = 50) {
+  kernel::MachineConfig cfg;
+  cfg.kernel.protection = compiler::ProtectionConfig::full();
+  cfg.kernel.log_pac_failures = false;
+  cfg.kernel.preempt = true;
+  cfg.cores = cores;
+  // The default quantum (10000) serializes workloads this small onto core 0;
+  // a short quantum makes the interleaver actually interleave.
+  cfg.smp_quantum = quantum;
+  return cfg;
+}
+
+/// Three tasks: on two cores this oversubscribes, so the runqueue always
+/// holds a parked Runnable task and cross-core migration windows open.
+void add_mix(kernel::Machine& m) {
+  m.add_user_program(kernel::workloads::yield_loop(10));
+  m.add_user_program(kernel::workloads::null_syscall(20));
+  m.add_user_program(kernel::workloads::yield_loop(10));
+}
+
+/// Everything guest-deterministic a run produces: per-core clocks and retire
+/// counts, IPI count and per-cpu retire counters (SMP only), halt code,
+/// console, and the full obs trace. Host wall-clock gauges are deliberately
+/// excluded — they vary run to run at cores=1 too.
+using Fp = std::tuple<std::vector<uint64_t>, uint64_t, std::string,
+                      std::string>;
+
+Fp fingerprint(kernel::MachineConfig cfg) {
+  cfg.obs.enabled = true;
+  kernel::Machine m(cfg);
+  add_mix(m);
+  m.boot();
+  EXPECT_TRUE(m.run());
+  std::vector<uint64_t> clocks;
+  for (unsigned c = 0; c < m.cores(); ++c) {
+    clocks.push_back(m.core(c).cycles());
+    clocks.push_back(m.core(c).retired());
+  }
+  if (m.cores() > 1) {
+    clocks.push_back(m.read_global(kernel::kSymIpiCount));
+    for (unsigned c = 0; c < m.cores(); ++c)
+      clocks.push_back(
+          m.stats()->metrics().value("insn.c" + std::to_string(c)));
+  }
+  return {std::move(clocks), m.halted() ? m.halt_code() : ~uint64_t{0},
+          m.console(), m.stats()->chrome_trace_json()};
+}
+
+TEST(Smp, TwoRunsBitIdentical) {
+  for (const unsigned cores : {2u, 4u}) {
+    const Fp a = fingerprint(smp_config(cores));
+    const Fp b = fingerprint(smp_config(cores));
+    EXPECT_EQ(a, b) << "cores=" << cores
+                    << ": the interleaver is not deterministic";
+    EXPECT_EQ(std::get<1>(a), kernel::kHaltDone) << "cores=" << cores;
+  }
+}
+
+TEST(Smp, SingleCoreIgnoresSmpKnobs) {
+  // cores=1 is the pre-SMP machine: the interleaver quantum must be
+  // completely inert, and no per-cpu counters may appear in the registry.
+  kernel::MachineConfig pre_smp;  // untouched cores/smp_quantum defaults
+  pre_smp.kernel.protection = compiler::ProtectionConfig::full();
+  pre_smp.kernel.log_pac_failures = false;
+  pre_smp.kernel.preempt = true;
+  const Fp deflt = fingerprint(pre_smp);
+  EXPECT_EQ(deflt, fingerprint(smp_config(1, 50)));
+  EXPECT_EQ(deflt, fingerprint(smp_config(1, 7)));
+
+  kernel::MachineConfig cfg = smp_config(1);
+  cfg.obs.enabled = true;
+  kernel::Machine m(cfg);
+  add_mix(m);
+  m.boot();
+  ASSERT_TRUE(m.run());
+  EXPECT_EQ(m.cores(), 1u);
+  EXPECT_FALSE(m.stats()->metrics().has_counter("insn.c0"))
+      << "uniprocessor registries must not grow per-cpu counters";
+}
+
+TEST(Smp, SecondariesExecuteAndTasksMigrate) {
+  kernel::MachineConfig cfg = smp_config(2);
+  kernel::Machine m(cfg);
+  add_mix(m);
+  m.boot();
+  ASSERT_TRUE(m.run());
+  EXPECT_EQ(m.halt_code(), kernel::kHaltDone);
+  ASSERT_EQ(m.cores(), 2u);
+  EXPECT_GT(m.core(1).retired(), 0u) << "core 1 never ran";
+  EXPECT_GE(m.read_global(kernel::kSymIpiCount), 1u)
+      << "an oversubscribed runqueue must kick the peer core";
+  unsigned off_core0 = 0;
+  for (unsigned pid = 1; pid <= 3; ++pid)
+    if (m.read_u64(m.task_struct(pid) + kernel::task::kCpu) != 0)
+      ++off_core0;
+  EXPECT_GE(off_core0, 1u) << "no task ever migrated off core 0";
+}
+
+TEST(Smp, FleetComposableAcrossJobs) {
+  // N independent 2-core machines sharded across 4 host threads must land
+  // on exactly the serial results: guest SMP and host fleet parallelism are
+  // orthogonal by construction.
+  const auto factory = [](size_t i) {
+    kernel::MachineConfig cfg = smp_config(2);
+    cfg.machine_id = static_cast<unsigned>(i);
+    auto m = std::make_unique<kernel::Machine>(cfg);
+    m->add_user_program(kernel::workloads::yield_loop(5 + i));
+    m->add_user_program(kernel::workloads::null_syscall(10 + i));
+    m->add_user_program(kernel::workloads::yield_loop(5));
+    return m;
+  };
+  const auto tenant = [](size_t, kernel::Machine& m) {
+    m.boot();
+    EXPECT_TRUE(m.run());
+    std::vector<uint64_t> r;
+    for (unsigned c = 0; c < m.cores(); ++c) {
+      r.push_back(m.core(c).cycles());
+      r.push_back(m.core(c).retired());
+    }
+    r.push_back(m.halt_code());
+    return r;
+  };
+  par::Pool serial(1), wide(4);
+  const auto a = par::run_fleet(serial, 4, factory, tenant);
+  const auto b = par::run_fleet(wide, 4, factory, tenant);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i)
+    EXPECT_EQ(a.results[i], b.results[i]) << "machine " << i;
+}
+
+TEST(Smp, TrapframeMigrationAttackAttributedToDestinationCore) {
+  std::string bundle;
+  const auto rep =
+      attacks::run_named_attack("trapframe-migration", "full", &bundle);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->outcome, attacks::Outcome::Detected) << rep->detail;
+  EXPECT_GE(rep->trace_auth_failures, 1u);
+
+  // The bundle's audit stream must attribute the failure to core 1 — the
+  // destination of the migration, where the corrupted trapframe was
+  // authenticated — and carry a non-trivial causal chain back to the
+  // signing key's install.
+  const auto root = obs::json::Value::parse(bundle);
+  ASSERT_TRUE(root.has_value());
+  const obs::json::Value* audit = root->get("audit");
+  ASSERT_NE(audit, nullptr);
+  ASSERT_TRUE(audit->is_array());
+  const obs::json::Value* fail = nullptr;
+  for (size_t i = 0; i < audit->size(); ++i) {
+    const obs::json::Value* e = audit->at(i);
+    const obs::json::Value* kind = e->get("kind");
+    if (kind != nullptr && kind->is_string() &&
+        kind->as_string() == "auth-fail")
+      fail = e;
+  }
+  ASSERT_NE(fail, nullptr) << "no AuthFail event in the audit stream";
+  const obs::json::Value* cpu = fail->get("cpu");
+  ASSERT_NE(cpu, nullptr) << "AuthFail carries no cpu attribution";
+  EXPECT_EQ(cpu->as_number(), 1.0)
+      << "the failure must land on the migration's destination core";
+  const obs::json::Value* chain = root->get("chain");
+  ASSERT_NE(chain, nullptr);
+  EXPECT_GE(chain->size(), 2u) << "causal chain must reach the key install";
+}
+
+TEST(Smp, AttackRegistryListsTrapframeMigrationLast) {
+  // Appended at the end so every pre-SMP matrix artifact keeps its row
+  // order (bench_security_matrix baselines index by position).
+  const auto& names = attacks::attack_names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.back(), "trapframe-migration");
+}
+
+}  // namespace
+}  // namespace camo

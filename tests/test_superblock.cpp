@@ -127,6 +127,90 @@ TEST_P(Superblock, SmcAcrossPageBoundaryInvalidatesCachedBlock) {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-core SMC: the Machine's SMP shape in miniature (DESIGN.md §3h) —
+// two cores, each with its own Mmu, micro-TLB and superblock cache, sharing
+// one physical memory and one kernel map. Core B executes and caches a
+// block; core A's guest store rewrites it; core B's next dispatch must
+// re-translate, because the write generation the cache is validated against
+// lives in the *shared* PhysicalMemory, not in either core.
+// ---------------------------------------------------------------------------
+
+TEST_P(Superblock, CrossCoreSmcInvalidatesPeerCachedBlock) {
+  const cpu::Cpu::Config c = cfg();
+  mem::PhysicalMemory pm{1 << 20};
+  mem::Stage1Map kmap;
+  mem::Mmu mmu_a(pm, c.layout), mmu_b(pm, c.layout);
+  cpu::Cpu a(mmu_a, c), b(mmu_b, c);
+
+  constexpr uint64_t kWx = 0xFFFF000000200000ull;
+  mem::PagePerms wx;
+  wx.r_el1 = wx.w_el1 = wx.x_el1 = true;
+  kmap.map_range(kWx, 0x50000, 0x2000, wx);
+  mmu_a.set_kernel_map(&kmap);
+  mmu_b.set_kernel_map(&kmap);
+
+  const auto write_words = [&](uint64_t va,
+                               const std::vector<uint32_t>& words) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      const auto t =
+          mmu_a.translate(va + i * 4, mem::Access::Fetch, mem::El::El2);
+      ASSERT_TRUE(t.ok()) << "cross-core harness: text not mapped";
+      pm.write32(t.pa, words[i]);
+    }
+  };
+
+  const uint64_t site = kWx + 0x800;     // the block core B caches
+  const uint64_t entry_b = kWx;          // core B's per-pass driver
+  const uint64_t patcher = kWx + 0x400;  // core A's program
+  const uint32_t hlt55 = words_of([](FunctionBuilder& f) { f.hlt(0x55); })[0];
+  const uint32_t add2 =
+      words_of([](FunctionBuilder& f) { f.add_i(0, 0, 2); })[0];
+  const uint64_t patch =
+      static_cast<uint64_t>(add2) | (static_cast<uint64_t>(hlt55) << 32);
+
+  write_words(entry_b, words_of([&](FunctionBuilder& f) {
+    f.mov_imm(0, 0);
+    f.mov_imm(12, site);
+    f.br(12);
+  }));
+  write_words(site, words_of([](FunctionBuilder& f) {
+    f.add_i(0, 0, 1);  // becomes add #2 after core A's store
+    f.hlt(0x55);
+  }));
+  write_words(patcher, words_of([&](FunctionBuilder& f) {
+    f.mov_imm(9, site);
+    f.mov_imm(10, patch);
+    f.str(10, 9, 0);  // core A rewrites core B's cached block
+    f.hlt(0x66);
+  }));
+
+  // Pass 1: core B runs and caches the site block.
+  b.pc = entry_b;
+  b.run(1000);
+  ASSERT_TRUE(b.halted());
+  EXPECT_EQ(b.halt_code(), 0x55u);
+  EXPECT_EQ(b.x(0), 1u);
+
+  // Core A patches the site through its own Mmu — never executed on A.
+  a.pc = patcher;
+  a.run(1000);
+  ASSERT_TRUE(a.halted());
+  EXPECT_EQ(a.halt_code(), 0x66u);
+
+  // Pass 2: core B must fetch the new code, not its cached decode.
+  b.clear_halt();
+  b.pc = entry_b;
+  b.run(1000);
+  ASSERT_TRUE(b.halted());
+  EXPECT_EQ(b.halt_code(), 0x55u);
+  EXPECT_EQ(b.x(0), 2u)
+      << "core B dispatched a stale cached block after core A's store";
+  if (superblocks())
+    EXPECT_GE(b.superblock_stats().invalidations, 1u)
+        << "the cross-core store must invalidate core B's cached block";
+}
+
+// ---------------------------------------------------------------------------
 // Forged RET into the middle of a cached block: executing a straight-line
 // run from its start caches a block at its start PA; a later RET targeting
 // an interior instruction must execute from exactly that instruction, never
@@ -282,15 +366,19 @@ TEST_P(Superblock, BreakpointInsideStraightLineRunFires) {
 // engine combinations, including the obs retire stream.
 // ---------------------------------------------------------------------------
 
-kernel::BisectSide parity_side(bool superblocks, bool fast_path) {
+kernel::BisectSide parity_side(bool superblocks, bool fast_path,
+                               unsigned cores = 1) {
   kernel::BisectSide s;
   s.label = std::string(superblocks ? "sb-on" : "sb-off") +
-            (fast_path ? " fp-on" : " fp-off");
+            (fast_path ? " fp-on" : " fp-off") +
+            (cores > 1 ? " cores=" + std::to_string(cores) : "");
   s.cfg.kernel.protection = compiler::ProtectionConfig::full();
   s.cfg.kernel.log_pac_failures = false;
   s.cfg.kernel.preempt = true;
   s.cfg.cpu.superblocks = superblocks;
   s.cfg.cpu.fast_path = fast_path;
+  s.cfg.cores = cores;
+  s.cfg.smp_quantum = 50;  // real interleaving at this workload size
   s.setup = [](kernel::Machine& m) {
     m.add_user_program(kernel::workloads::null_syscall(25));
     m.add_user_program(kernel::workloads::yield_loop(10));
@@ -298,29 +386,38 @@ kernel::BisectSide parity_side(bool superblocks, bool fast_path) {
   return s;
 }
 
-std::tuple<uint64_t, uint64_t, uint64_t, std::string> machine_fingerprint(
-    bool superblocks, bool fast_path) {
-  const kernel::BisectSide s = parity_side(superblocks, fast_path);
+std::tuple<std::vector<uint64_t>, uint64_t, std::string> machine_fingerprint(
+    bool superblocks, bool fast_path, unsigned cores = 1) {
+  const kernel::BisectSide s = parity_side(superblocks, fast_path, cores);
   kernel::Machine m(s.cfg);
   s.setup(m);
   m.boot();
   EXPECT_TRUE(m.run());
-  return {m.cpu().cycles(), m.cpu().retired(), m.halt_code(), m.console()};
+  // Per-core clocks and retire counts: at cores=1 this is the classic
+  // {cycles, retired} pair; multi-core runs must agree core by core.
+  std::vector<uint64_t> clocks;
+  for (unsigned c = 0; c < m.cores(); ++c) {
+    clocks.push_back(m.core(c).cycles());
+    clocks.push_back(m.core(c).retired());
+  }
+  return {std::move(clocks), m.halt_code(), m.console()};
 }
 
 TEST(SuperblockParity, MachineRunBitForBitAcrossAllEngineCombos) {
-  const auto ref = machine_fingerprint(false, false);
-  for (const auto& [sb, fp] : {std::pair{false, true},
-                              std::pair{true, false},
-                              std::pair{true, true}}) {
-    const auto cur = machine_fingerprint(sb, fp);
-    if (cur == ref) continue;
-    // Fingerprints disagree: escalate to the divergence bisector so the
-    // failure names the first divergent retired instruction instead of
-    // just the end-of-run totals (DESIGN.md §3g).
-    EXPECT_EQ(cur, ref);
-    EXPECT_TRUE(testing_support::MachinesConverge(parity_side(false, false),
-                                                  parity_side(sb, fp)));
+  for (const unsigned cores : {1u, 2u}) {
+    const auto ref = machine_fingerprint(false, false, cores);
+    for (const auto& [sb, fp] : {std::pair{false, true},
+                                std::pair{true, false},
+                                std::pair{true, true}}) {
+      const auto cur = machine_fingerprint(sb, fp, cores);
+      if (cur == ref) continue;
+      // Fingerprints disagree: escalate to the divergence bisector so the
+      // failure names the first divergent retired instruction instead of
+      // just the end-of-run totals (DESIGN.md §3g).
+      EXPECT_EQ(cur, ref) << "cores=" << cores;
+      EXPECT_TRUE(testing_support::MachinesConverge(
+          parity_side(false, false, cores), parity_side(sb, fp, cores)));
+    }
   }
 }
 

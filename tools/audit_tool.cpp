@@ -35,9 +35,13 @@ bool read_file(const std::string& path, std::string* out, std::string* error) {
 /// One audit event as a human line; the payload layout follows the kind
 /// (see obs/audit.h).
 std::string event_line(const AuditEvent& e) {
-  std::string s = strformat("m%u %10llu  %-13s", e.machine,
-                            static_cast<unsigned long long>(e.cycles),
-                            obs::audit_kind_name(e.kind));
+  // Multi-core machines attribute every event to its emitting core
+  // ("m0.c1"); single-core output keeps the classic "m0" prefix.
+  std::string s =
+      e.cpu != 0 ? strformat("m%u.c%u", e.machine, e.cpu)
+                 : strformat("m%u", e.machine);
+  s += strformat(" %10llu  %-13s", static_cast<unsigned long long>(e.cycles),
+                 obs::audit_kind_name(e.kind));
   const auto hex = [](uint64_t v) { return obs::hex_u64(v); };
   switch (e.kind) {
     case AuditKind::KeyInstall:

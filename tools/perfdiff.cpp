@@ -98,6 +98,27 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
       }
     }
   }
+  // Refuse cross-cores comparisons for the stronger reason: guest core
+  // count is part of the simulated contract — a 2-core guest schedules
+  // differently — so even the deterministic cycle series measure different
+  // systems.
+  {
+    std::map<std::string, unsigned> base_cores;
+    for (const obs::BenchDoc& doc : baseline)
+      base_cores[doc.bench] = doc.cores;
+    for (const obs::BenchDoc& doc : current) {
+      const auto it = base_cores.find(doc.bench);
+      if (it != base_cores.end() && it->second != doc.cores) {
+        Report rep;
+        rep.error = strformat(
+            "bench \"%s\": baseline recorded with --cores %u, current with "
+            "--cores %u — not comparable; re-record one side",
+            doc.bench.c_str(), it->second, doc.cores);
+        rep.ok = false;
+        return rep;
+      }
+    }
+  }
   std::map<Key, double> base_vals, cur_vals;
   std::vector<Key> base_order, cur_order;
   flatten(baseline, base_vals, base_order);
@@ -109,7 +130,7 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
   for (const obs::BenchDoc& doc : current) {
     bool seen = false;
     for (const Report::RunHeader& h : rep.headers) seen |= h.bench == doc.bench;
-    if (!seen) rep.headers.push_back({doc.bench, doc.jobs, doc.sb});
+    if (!seen) rep.headers.push_back({doc.bench, doc.jobs, doc.cores, doc.sb});
   }
   for (const Key& k : base_order) {
     Delta d;
@@ -176,8 +197,8 @@ std::string Report::markdown() const {
   if (!error.empty()) return "FAIL: " + error + "\n";
   std::string out;
   for (const RunHeader& h : headers)
-    out += strformat("- `%s`: jobs=%u, engine=%s\n", h.bench.c_str(), h.jobs,
-                     h.sb ? "superblocks" : "interpreter");
+    out += strformat("- `%s`: jobs=%u, cores=%u, engine=%s\n", h.bench.c_str(),
+                     h.jobs, h.cores, h.sb ? "superblocks" : "interpreter");
   if (!headers.empty()) out += "\n";
   out +=
       "| series | unit | baseline | current | delta | status |\n"

@@ -31,6 +31,9 @@
 // Documents for the same bench with different jobs values are refused
 // outright: simulated series would still match, but wall-clock series mean
 // different things, and a gate that silently compared them would hide that.
+// The --cores header field (absent = 1) is refused on mismatch for a
+// stronger reason: guest core count changes the *simulated* results
+// themselves, so nothing in a cross-cores pair is comparable.
 #pragma once
 
 #include <cstdint>
@@ -88,6 +91,7 @@ struct Report {
   struct RunHeader {
     std::string bench;
     unsigned jobs = 1;
+    unsigned cores = 1;
     bool sb = true;
   };
   std::vector<RunHeader> headers;
