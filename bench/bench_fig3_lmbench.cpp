@@ -120,9 +120,10 @@ int main(int argc, char** argv) {
 
   // Host-throughput comparison (informational, never gated): the same read
   // workload, longer than the latency rows (noise amortisation), under all
-  // three host engine modes — no host caches, the fetch/translate fast path
-  // alone, and the superblock engine on top. Simulated cycles must be
-  // bit-for-bit identical across all three — every mode is host-side only.
+  // four host engine modes — no host caches, the fetch/translate fast path
+  // alone, the superblock engine on top, and the trace tier on top of that.
+  // Simulated cycles must be bit-for-bit identical across all four — every
+  // mode is host-side only.
   if (!bench::emit_throughput_series(
           s, "read /dev/null 64B", compiler::ProtectionConfig::full(), [] {
             std::vector<obj::Program> v;
@@ -149,6 +150,7 @@ int main(int argc, char** argv) {
     s.add_histogram("full", "pauth.sign_to_auth", r.sign_to_auth, "cycles");
     s.add_histogram("full", "key.switch", r.key_switch, "cycles");
     s.add_histogram("full", "sb.run_length", r.sb_run_length, "insns");
+    s.add_histogram("full", "trace.len", r.trace_len, "insns");
   }
 
   // --trace <path> / --folded <path>: rerun one workload with the obs

@@ -9,7 +9,7 @@
 //
 // Every bench binary drives a bench::Session, which
 //   * prints the figure header,
-//   * parses the shared flags (--json <path>, --smoke, --trace <path>,
+//   * parses the shared flags (--json <path>, --smoke, --trace on|off|<path>,
 //     --folded <path>, --seed <u64>, --jobs <n>, --sb on|off, --cov <path>)
 //     and compacts them out of argv so
 //     binaries with their own flag parsing (bench_qarma) still work; a
@@ -87,6 +87,9 @@ struct RunCycles {
   /// Superblock dispatch run lengths — host execution-strategy shape, empty
   /// when the engine is off (add_histogram skips empty histograms).
   obs::Histogram sb_run_length;
+  /// Instructions per formed trace (§3i), sampled at formation time — empty
+  /// when the trace tier (or the whole engine) is off.
+  obs::Histogram trace_len;
 };
 
 /// Build a machine with `prot`, add the given user programs, run to halt and
@@ -102,6 +105,15 @@ struct RunCycles {
 /// --sb flag (superblocks_allowed()), the escape hatch the sanitizer CI
 /// uses to exercise both engines.
 inline bool& superblocks_allowed() {
+  static bool allowed = true;
+  return allowed;
+}
+
+/// Session-wide gate for the trace tier (§3i), set from --trace on|off and
+/// ANDed with each bench's per-run choice exactly like
+/// superblocks_allowed(). Meaningless when superblocks are off — the trace
+/// tier lives inside the superblock engine.
+inline bool& traces_allowed() {
   static bool allowed = true;
   return allowed;
 }
@@ -124,7 +136,8 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
                               uint64_t seed = kernel::MachineConfig{}.seed,
                               bool fast_path = true,
                               bool superblocks = true,
-                              unsigned cores = 0) {
+                              unsigned cores = 0,
+                              bool traces = true) {
   if (cores == 0) cores = session_cores();
   kernel::MachineConfig cfg;
   cfg.kernel.protection = prot;
@@ -133,6 +146,7 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
   cfg.seed = seed;
   cfg.cpu.fast_path = fast_path;
   cfg.cpu.superblocks = superblocks && superblocks_allowed();
+  cfg.cpu.traces = traces && traces_allowed();
   cfg.cores = cores;
   kernel::Machine m(cfg);
   for (auto& p : programs) m.add_user_program(std::move(p));
@@ -171,25 +185,29 @@ inline RunCycles run_workload(const compiler::ProtectionConfig& prot,
       r.key_switch = *h;
   }
   r.sb_run_length = m.cpu().superblock_stats().run_length;
+  r.trace_len = m.cpu().superblock_stats().trace_len;
   return r;
 }
 
 /// One measurement in the emitted series.
 using SeriesPoint = obs::BenchSeriesPoint;
 
-/// The three host-engine configurations of the informational throughput
+/// The four host-engine configurations of the informational throughput
 /// series: every host cache off, the §3c fetch/translate fast path alone,
-/// and the §3e superblock engine stacked on top of it.
+/// the §3e superblock engine stacked on top of it, and the §3i trace tier
+/// stacked on top of the superblocks.
 struct EngineMode {
   const char* name;
   bool fast_path;
   bool superblocks;
+  bool traces;
 };
 
 inline std::vector<EngineMode> engine_modes() {
-  return {{"fastpath-off", false, false},
-          {"sb-off", true, false},
-          {"sb-on", true, true}};
+  return {{"fastpath-off", false, false, false},
+          {"sb-off", true, false, false},
+          {"sb-on", true, true, false},
+          {"trace-on", true, true, true}};
 }
 
 /// Validate a parsed BENCH JSON document against the camo-bench/v1 schema.
@@ -237,6 +255,10 @@ class Session {
     /// each bench's per-run choice (see run_workload). "off" is the
     /// sanitizer-CI escape hatch; "on" is the default and forces nothing.
     bool sb = true;
+    /// --trace on|off: session-wide gate for the trace tier (§3i), same
+    /// contract as --sb. The flag is overloaded for compatibility: any
+    /// other value is the Chrome trace output path (trace_path above).
+    bool trace = true;
     /// Host threads for fleet()-sharded sweeps: --jobs N, else the
     /// CAMO_JOBS environment variable, else 1. Never affects simulated
     /// results — only wall-clock (DESIGN.md §3d). Recorded in the emitted
@@ -292,7 +314,19 @@ class Session {
       std::string seed_text;
       if (take_value("--json", out.json_path, matched)) continue;
       if (matched) break;
-      if (take_value("--trace", out.trace_path, matched)) continue;
+      std::string trace_text;
+      if (take_value("--trace", trace_text, matched)) {
+        // Overloaded flag: on|off gates the trace tier; anything else is
+        // the Chrome trace output path (the flag's original meaning).
+        if (trace_text == "on") {
+          out.trace = true;
+        } else if (trace_text == "off") {
+          out.trace = false;
+        } else {
+          out.trace_path = trace_text;
+        }
+        continue;
+      }
       if (matched) break;
       if (take_value("--folded", out.folded_path, matched)) continue;
       if (matched) break;
@@ -376,6 +410,7 @@ class Session {
       std::exit(2);
     }
     superblocks_allowed() = flags_.sb;
+    traces_allowed() = flags_.trace;
     session_cores() = flags_.cores;
     std::printf(
         "\n================================================================\n");
@@ -529,6 +564,10 @@ class Session {
     // Absent means on (the default engine): recordings made before the flag
     // existed — and every default run since — stay byte-identical.
     if (!flags_.sb) doc.set("sb", obs::json::Value(false));
+    // Absent means off: recordings made before the trace tier existed parse
+    // as trace-less, which is what they ran. Emitted only when the tier can
+    // actually engage (it lives inside the superblock engine).
+    if (flags_.sb && flags_.trace) doc.set("trace", obs::json::Value(true));
     obs::json::Value series = obs::json::Value::array();
     for (const SeriesPoint& p : series_) {
       obs::json::Value pt = obs::json::Value::object();
@@ -604,7 +643,8 @@ bool emit_throughput_series(Session& s, const std::string& benchmark,
     RunCycles best;
     for (int rep = 0; rep < 3; ++rep) {
       RunCycles r = run_workload(prot, make(), max_steps, /*collect=*/false,
-                                 seed, mode.fast_path, mode.superblocks);
+                                 seed, mode.fast_path, mode.superblocks,
+                                 /*cores=*/0, mode.traces);
       if (rep == 0 || r.throughput() > best.throughput()) best = r;
     }
     results.push_back(best);

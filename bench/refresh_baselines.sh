@@ -32,12 +32,15 @@
 # outright. (bench_smp sweeps its own core counts internally regardless of
 # the flag, so its baseline stays uniprocessor-headed and comparable.)
 #
-# Superblocks (DESIGN.md §3e) stay at their default (on): the engine is
-# cycle-exact, so the gated series are identical either way — a gate run
-# passing with the engine on is itself the parity check. The benches'
-# informational throughput series cover fastpath-off / sb-off / sb-on
-# regardless. Only pass --sb off here if you are deliberately baselining
-# with the engine disabled, and say so in the commit.
+# Superblocks (DESIGN.md §3e) and the trace tier on top (§3i) stay at
+# their defaults (both on): the engines are cycle-exact, so the gated
+# series are identical either way — a gate run passing with them on is
+# itself the parity check. The benches' informational throughput series
+# cover fastpath-off / sb-off / sb-on / trace-on regardless. The engine
+# choice rides in the camo-bench/v1 header ("sb", "trace") and
+# camo-perfdiff refuses cross-engine pairs, so baselines recorded with a
+# non-default engine make every later default gate run fail: only pass
+# --sb off / --trace off here deliberately, and say so in the commit.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

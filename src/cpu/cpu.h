@@ -41,6 +41,12 @@ struct SuperblockStats {
   uint64_t invalidations = 0;  ///< cached blocks rejected by a stale key
   uint64_t chain_hits = 0;     ///< block→block transitions via the memoized
                                ///< chain edge (no lookup, no translate)
+  // Trace tier (DESIGN.md §3i): branch-following multi-block traces.
+  uint64_t traces_formed = 0;       ///< traces built from biased edge profiles
+  uint64_t trace_hits = 0;          ///< dispatches served by a valid trace
+  uint64_t trace_guard_exits = 0;   ///< mid-trace guard mismatches (side exit)
+  uint64_t trace_invalidations = 0; ///< traces rejected by a stale page record
+  uint64_t trace_demotions = 0;     ///< traces dropped for chronic guard exits
   /// Instructions retired per block dispatch (DESIGN.md §3f): every entry
   /// into a cached block records the number of instructions the dispatch
   /// loop retired before leaving it. Deterministic for a fixed engine
@@ -48,6 +54,9 @@ struct SuperblockStats {
   /// execution strategy, so it lives here and not in the merged metrics
   /// registry.
   obs::Histogram run_length;
+  /// Entries (instructions) per formed trace, sampled at formation time —
+  /// the §3i companion of run_length, serialized as hist.trace.len.
+  obs::Histogram trace_len;
 };
 
 /// Saved/current processor state flags.
@@ -96,6 +105,12 @@ class Cpu {
     /// with this on or off. Composes with fast_path (step() still uses the
     /// predecode cache whenever the engine falls back to single-stepping).
     bool superblocks = true;
+    /// Trace tier on top of the superblock engine (DESIGN.md §3i): extend
+    /// cached runs across strongly-biased branch edges behind execution-time
+    /// guards, with per-page epoch validation and fused PAuth fast paths.
+    /// Host-side only, same invariance contract as superblocks; meaningless
+    /// (ignored) when superblocks is off.
+    bool traces = true;
   };
 
   Cpu(mem::Mmu& mmu, Config cfg);

@@ -263,6 +263,16 @@ struct OpTraits {
   bool is_store = false;
   /// May take a synchronous DataAbort mid-block (loads and stores).
   bool may_fault = false;
+  /// May terminate a *non-final* segment of a superblock trace (DESIGN.md
+  /// §3i): after the handler runs, the complete engine-relevant outcome is
+  /// captured by (pc, EL), so a trace can continue across the edge behind a
+  /// pc-equality guard. True for every branch (direct, conditional,
+  /// indirect, PAuth-combined) and for the non-branch PAuth family (their
+  /// only redirect is an FPAC fault, which the guard catches). False for
+  /// ops that can change PSTATE.I, halt, run host code (HVC/MSR filter),
+  /// switch EL outside the guard's view, or touch system state — those may
+  /// only ever be the *final* entry of a trace.
+  bool guardable = false;
 };
 
 constexpr OpTraits op_traits(Op op) {
@@ -309,8 +319,48 @@ constexpr OpTraits op_traits(Op op) {
     case Op::STP:
     case Op::STP_PRE:
       return {false, true, true};
+    // Guardable terminators: branches redirect pc and nothing else the
+    // engine must see; PAuth sign/auth/strip write one register and can at
+    // worst fault (FPAC) or poison, both visible to the pc/EL guard.
+    case Op::B:
+    case Op::BL:
+    case Op::BCOND:
+    case Op::CBZ:
+    case Op::CBNZ:
+    case Op::BR:
+    case Op::BLR:
+    case Op::RET:
+    case Op::BRAA:
+    case Op::BRAB:
+    case Op::BLRAA:
+    case Op::BLRAB:
+    case Op::RETAA:
+    case Op::RETAB:
+    case Op::PACIA:
+    case Op::PACIB:
+    case Op::PACDA:
+    case Op::PACDB:
+    case Op::AUTIA:
+    case Op::AUTIB:
+    case Op::AUTDA:
+    case Op::AUTDB:
+    case Op::PACGA:
+    case Op::XPACI:
+    case Op::XPACD:
+    case Op::PACIASP:
+    case Op::AUTIASP:
+    case Op::PACIBSP:
+    case Op::AUTIBSP:
+    case Op::PACIA1716:
+    case Op::PACIB1716:
+    case Op::AUTIA1716:
+    case Op::AUTIB1716:
+    case Op::XPACLRI:
+      return {true, false, false, true};
+    // Hard terminators (SVC/HVC/BRK/HLT/ERET/MRS/MSR/DAIF*/ISB/SWP/Invalid):
+    // end the block AND the trace.
     default:
-      return {true, false, false};
+      return {true, false, false, false};
   }
 }
 

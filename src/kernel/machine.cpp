@@ -440,6 +440,8 @@ bool Machine::run(uint64_t max_steps) {
     uint64_t tlb_hit = 0, tlb_miss = 0, tlb_flush = 0;
     uint64_t pac_hit = 0, pac_miss = 0;
     uint64_t sb_blocks = 0, sb_hits = 0, sb_inval = 0, sb_chain = 0;
+    uint64_t tr_formed = 0, tr_hits = 0, tr_gexit = 0, tr_inval = 0,
+             tr_demote = 0;
     const auto add_core = [&](cpu::Cpu& cc, const mem::Mmu& mm) {
       const auto& fp = cc.fast_path_stats();
       ic_hit += fp.icache_hits;
@@ -457,6 +459,11 @@ bool Machine::run(uint64_t max_steps) {
       sb_hits += sb.hits;
       sb_inval += sb.invalidations;
       sb_chain += sb.chain_hits;
+      tr_formed += sb.traces_formed;
+      tr_hits += sb.trace_hits;
+      tr_gexit += sb.trace_guard_exits;
+      tr_inval += sb.trace_invalidations;
+      tr_demote += sb.trace_demotions;
     };
     add_core(cpu_, mmu_);
     for (const auto& sc : secondary_) add_core(*sc.cpu, *sc.mmu);
@@ -472,6 +479,11 @@ bool Machine::run(uint64_t max_steps) {
     sync("fastpath.sb.hits", sb_hits);
     sync("fastpath.sb.invalidations", sb_inval);
     sync("fastpath.sb.chain_hits", sb_chain);
+    sync("fastpath.trace.formed", tr_formed);
+    sync("fastpath.trace.hits", tr_hits);
+    sync("fastpath.trace.guard_exits", tr_gexit);
+    sync("fastpath.trace.invalidations", tr_inval);
+    sync("fastpath.trace.demotions", tr_demote);
     // Both the aggregate name (single-machine consumers, this registry's
     // own view) and the machine-id-namespaced name: fleet merges combine
     // many machines' registries in one process, where a shared gauge name

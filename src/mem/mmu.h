@@ -229,6 +229,16 @@ class Mmu {
     }
     return e;
   }
+  /// Multi-page epoch validation (DESIGN.md §3i): true when the snapshot a
+  /// consumer took for `va` still holds. A superblock trace spans several
+  /// 4 KiB pages and carries one (FetchEpoch, write-generation) record per
+  /// constituent page; re-checking each record through this predicate at
+  /// trace entry proves every cached translation in the trace — map
+  /// identity, permissions, XOM/PXN, canonicality — is still current.
+  /// Generations are monotonic, so there is no ABA hazard.
+  bool fetch_epoch_current(uint64_t va, const FetchEpoch& e) const {
+    return fetch_epoch(va) == e;
+  }
 
   // ---- micro-TLB ---------------------------------------------------------
   /// Enable/disable the micro-TLB (the CPU propagates its fast-path toggle

@@ -22,6 +22,11 @@
 //                                          // was allowed (--sb); host-side
 //                                          // only, simulated cycles are
 //                                          // engine-independent
+//     "trace": true,                       // optional, absent means false:
+//                                          // whether the trace tier was
+//                                          // allowed on top of superblocks
+//                                          // (--trace); recordings predating
+//                                          // the tier parse as trace-less
 //     "series": [ {"config": "full", "benchmark": "null syscall",
 //                  "value": 1234.5, "unit": "cycles/op",
 //                  "relative": 1.31},  ... ]
@@ -56,7 +61,8 @@ struct BenchDoc {
   std::optional<uint64_t> seed;  ///< RNG seed the run used, when recorded
   unsigned jobs = 1;             ///< host threads of the run (absent = 1)
   unsigned cores = 1;            ///< guest cores per machine (absent = 1)
-  bool sb = true;                ///< superblock engine allowed (absent = true)
+  bool sb = true;      ///< superblock engine allowed (absent = true)
+  bool trace = false;  ///< trace tier allowed (absent = false)
   std::vector<BenchSeriesPoint> series;
 };
 

@@ -1,0 +1,76 @@
+// Edge-bias profile: the observation source the trace tier (DESIGN.md §3i)
+// forms superblock traces from.
+//
+// Every completed dispatch of a cached block records the successor pc the
+// terminator produced. The profile keeps the top two successor VAs with
+// counts (enough to tell "strongly biased" from "alternating" — a branch
+// that flips between two targets never looks biased no matter how hot it
+// is) plus the total sample count. When the dominant edge holds at least
+// kBiasNum/kBiasDen of at least kMinSamples observed exits, the edge is
+// worth extending a trace across: the embedded guard will side-exit on the
+// minority target, so a mispredicted edge costs one wasted validation, not
+// correctness.
+//
+// Host-side observation only: recording never changes simulated state, and
+// the profile dies with the block it annotates (a rebuilt block starts
+// cold, which is exactly right — new bytes, new branch behaviour).
+#pragma once
+
+#include <cstdint>
+
+namespace camo::obs {
+
+struct EdgeProfile {
+  static constexpr uint32_t kMinSamples = 8;  ///< exits before judging bias
+  static constexpr uint32_t kBiasNum = 7;     ///< dominant edge must hold
+  static constexpr uint32_t kBiasDen = 8;     ///< >= 7/8 of all exits
+
+  uint64_t va[2] = {0, 0};     ///< top-2 successor VAs, slot 0 = dominant
+  uint32_t count[2] = {0, 0};  ///< samples per slot
+  uint32_t total = 0;          ///< all recorded exits (incl. evicted slots)
+
+  void reset() { *this = EdgeProfile{}; }
+
+  /// Record one observed successor. Two-slot frequency estimation: a third
+  /// VA evicts the weaker slot only once it outgrows it implicitly (the
+  /// weaker slot's count decays by replacement), which is all the fidelity
+  /// a 7/8-bias test needs.
+  void record(uint64_t successor_va) {
+    ++total;
+    if (count[0] != 0 && va[0] == successor_va) {
+      ++count[0];
+      return;
+    }
+    if (count[1] != 0 && va[1] == successor_va) {
+      if (++count[1] > count[0]) {  // keep slot 0 dominant
+        const uint64_t tv = va[0];
+        const uint32_t tc = count[0];
+        va[0] = va[1];
+        count[0] = count[1];
+        va[1] = tv;
+        count[1] = tc;
+      }
+      return;
+    }
+    if (count[0] == 0) {
+      va[0] = successor_va;
+      count[0] = 1;
+    } else if (count[1] == 0 || count[1] == 1) {
+      va[1] = successor_va;  // claim or replace the cold minority slot
+      count[1] = 1;
+    }
+  }
+
+  /// True when enough exits were seen and the dominant edge holds the bias
+  /// threshold; `target` is then that edge's successor VA.
+  bool biased(uint64_t& target) const {
+    if (total < kMinSamples) return false;
+    if (static_cast<uint64_t>(count[0]) * kBiasDen <
+        static_cast<uint64_t>(total) * kBiasNum)
+      return false;
+    target = va[0];
+    return true;
+  }
+};
+
+}  // namespace camo::obs

@@ -79,6 +79,41 @@ TEST(BenchFlags, SbFlagParsesOnOffAndRejectsAnythingElse) {
   }
 }
 
+TEST(BenchFlags, TraceFlagGatesTierOrTakesChromeTracePath) {
+  // --trace is overloaded: on|off gates the §3i trace tier, anything else
+  // is the Chrome trace output path (the flag's original meaning).
+  {
+    Argv a({"bench", "--trace", "off", "--keep"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_FALSE(f.trace);
+    EXPECT_EQ(f.trace_path, "");
+    ASSERT_EQ(a.argc, 2);
+    EXPECT_STREQ(a.argv()[1], "--keep");
+  }
+  {
+    Argv a({"bench", "--trace=on"});
+    Flags f;
+    f.trace = false;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_TRUE(f.trace);
+    EXPECT_EQ(f.trace_path, "");
+  }
+  {
+    Argv a({"bench", "--trace", "t.json"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_TRUE(f.trace) << "a path must not disturb the tier gate";
+    EXPECT_EQ(f.trace_path, "t.json");
+  }
+  {
+    Argv a({"bench"});
+    Flags f;
+    EXPECT_EQ(Session::parse_flags(a.argc, a.argv(), f), "");
+    EXPECT_TRUE(f.trace) << "trace tier defaults on";
+  }
+}
+
 TEST(BenchFlags, EqualsFormWorks) {
   Argv a({"bench", "--json=out.json", "--seed=0x10"});
   Flags f;

@@ -294,25 +294,35 @@ TEST(PerfDiff, CoverageAndDivergenceSeriesAreInformational) {
 }
 
 TEST(PerfDiff, MarkdownReportsRunHeaders) {
-  // diff() refuses cross-jobs comparisons, so both sides record jobs=8.
+  // diff() refuses cross-jobs and cross-engine comparisons, so both sides
+  // record jobs=8 and the same engine per sub-case.
   auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
   base.jobs = 8;
-  auto cur = base;
-  cur.sb = false;
-  const auto rep = diff({base}, {cur}, {});
+  base.sb = false;
+  const auto rep = diff({base}, {base}, {});
   ASSERT_EQ(rep.headers.size(), 1u);
   EXPECT_EQ(rep.headers[0].bench, "Fig");
   EXPECT_EQ(rep.headers[0].jobs, 8u);
   EXPECT_FALSE(rep.headers[0].sb);
   const std::string md = rep.markdown();
   EXPECT_NE(md.find("jobs=8"), std::string::npos) << md;
-  EXPECT_NE(md.find("engine=interpreter"), std::string::npos) << md;
+  EXPECT_NE(md.find("engine=interp"), std::string::npos) << md;
 
   auto base2 = base;
   base2.jobs = 2;
+  base2.sb = true;
   const std::string md2 = diff({base2}, {base2}, {}).markdown();
   EXPECT_NE(md2.find("jobs=2"), std::string::npos) << md2;
-  EXPECT_NE(md2.find("engine=superblocks"), std::string::npos) << md2;
+  EXPECT_NE(md2.find("engine=sb"), std::string::npos) << md2;
+
+  // The trace tier reads as its own engine in the header.
+  auto base_tr = base2;
+  base_tr.trace = true;
+  const auto rep_tr = diff({base_tr}, {base_tr}, {});
+  ASSERT_EQ(rep_tr.headers.size(), 1u);
+  EXPECT_TRUE(rep_tr.headers[0].trace);
+  EXPECT_NE(rep_tr.markdown().find("engine=trace"), std::string::npos)
+      << rep_tr.markdown();
 
   // The guest core count rides in the same header line (absent = 1).
   EXPECT_NE(md2.find("cores=1"), std::string::npos) << md2;
@@ -384,6 +394,82 @@ TEST(PerfDiff, RefusesCrossCoresComparison) {
   auto other = doc("Other", {pt("c", "b", 1, "cycles")});
   other.cores = 4;
   EXPECT_TRUE(diff({base, other}, {cur, other}, {}).ok);
+}
+
+TEST(PerfDiff, RefusesCrossEngineComparison) {
+  // interp vs sb vs trace recordings measure different host
+  // implementations; a diff across any pair is refused outright.
+  auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op")});
+  auto cur = base;
+  cur.sb = false;  // baseline implicitly engine=sb
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_FALSE(rep.ok);
+  EXPECT_TRUE(rep.deltas.empty());
+  EXPECT_NE(rep.error.find("engine=sb"), std::string::npos) << rep.error;
+  EXPECT_NE(rep.error.find("engine=interp"), std::string::npos) << rep.error;
+  EXPECT_NE(rep.markdown().find("FAIL"), std::string::npos);
+
+  // sb-with-traces vs plain sb is a cross-engine pair too.
+  auto traced = base;
+  traced.trace = true;
+  const auto rep2 = diff({base}, {traced}, {});
+  EXPECT_FALSE(rep2.ok);
+  EXPECT_NE(rep2.error.find("engine=trace"), std::string::npos) << rep2.error;
+
+  // Matching engines compare normally; different bench ids never
+  // cross-check engines.
+  EXPECT_TRUE(diff({traced}, {traced}, {}).ok);
+  auto other = doc("Other", {pt("c", "b", 1, "cycles")});
+  other.sb = false;
+  EXPECT_TRUE(diff({traced, other}, {traced, other}, {}).ok);
+}
+
+TEST(PerfDiff, TraceSeriesAndHeaderArePerfdiffAware) {
+  // fastpath.trace.* telemetry rides under the "trace." prefix:
+  // informational regardless of unit, like fleet./hist./cov./div.
+  EXPECT_TRUE(series_is_informational("trace.formed"));
+  EXPECT_TRUE(series_is_informational("trace.hits"));
+  EXPECT_TRUE(series_is_informational("hist.trace.len.p95"));
+  EXPECT_FALSE(series_is_informational("tracing.overhead"));
+
+  const auto base = doc("Fig", {pt("full", "read", 1000, "cycles/op"),
+                                pt("full", "trace.formed", 4, "count")});
+  const auto cur = doc("Fig", {pt("full", "read", 1000, "cycles/op"),
+                               pt("full", "trace.formed", 400, "count")});
+  const auto rep = diff({base}, {cur}, {});
+  EXPECT_TRUE(rep.ok) << rep.markdown();
+  ASSERT_EQ(rep.deltas.size(), 2u);
+  EXPECT_EQ(rep.deltas[1].status, Status::Info);
+
+  // "trace" header field: bool, absent means false, non-bool rejected.
+  const std::string text = R"({"schema":"camo-bench/v1","bench":"b",)"
+                           R"("title":"t","smoke":true,"trace":true,)"
+                           R"("series":[{"config":"c","benchmark":"m",)"
+                           R"("value":1,"unit":"cycles"}]})";
+  const auto parsed = obs::json::Value::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(obs::validate_bench_json(*parsed), "");
+  const auto d = obs::parse_bench_doc(*parsed, nullptr);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->trace);
+  EXPECT_TRUE(d->sb);
+
+  const std::string absent = R"({"schema":"camo-bench/v1","bench":"b",)"
+                             R"("title":"t","smoke":true,)"
+                             R"("series":[{"config":"c","benchmark":"m",)"
+                             R"("value":1,"unit":"cycles"}]})";
+  const auto parsed_absent = obs::json::Value::parse(absent);
+  ASSERT_TRUE(parsed_absent.has_value());
+  const auto d2 = obs::parse_bench_doc(*parsed_absent, nullptr);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_FALSE(d2->trace);
+
+  const std::string bad = R"({"schema":"camo-bench/v1","bench":"b",)"
+                          R"("title":"t","smoke":true,"trace":1,)"
+                          R"("series":[]})";
+  const auto parsed_bad = obs::json::Value::parse(bad);
+  ASSERT_TRUE(parsed_bad.has_value());
+  EXPECT_NE(obs::validate_bench_json(*parsed_bad), "");
 }
 
 TEST(PerfDiff, MarkdownReportNamesTheOffender) {

@@ -47,10 +47,14 @@ bool series_is_informational(const std::string& benchmark) {
   // Histogram quantile families (bench::Session::add_histogram) are
   // distribution shape: informational by construction. Coverage and
   // divergence families (bench::Session::add_coverage, DESIGN.md §3g) are
-  // diagnostic signal — never a perf gate.
+  // diagnostic signal — never a perf gate. Trace-tier telemetry (§3i
+  // formation/hit/exit counters) is host-side engine behaviour, not a
+  // simulated cost.
   return benchmark.rfind("fleet.", 0) == 0 ||
          benchmark.rfind("hist.", 0) == 0 ||
-         benchmark.rfind("cov.", 0) == 0 || benchmark.rfind("div.", 0) == 0;
+         benchmark.rfind("cov.", 0) == 0 ||
+         benchmark.rfind("div.", 0) == 0 ||
+         benchmark.rfind("trace.", 0) == 0;
 }
 
 namespace {
@@ -73,6 +77,15 @@ void flatten(const std::vector<obs::BenchDoc>& docs,
       }
     }
   }
+}
+
+/// Engine a document ran under: the trace tier requires superblocks, so the
+/// (sb, trace) pair collapses to three names. Documents predating the trace
+/// tier parse as trace=false and so read as plain "sb"/"interp" — which is
+/// exactly what they ran.
+const char* engine_name(bool sb, bool trace) {
+  if (sb && trace) return "trace";
+  return sb ? "sb" : "interp";
 }
 
 }  // namespace
@@ -119,6 +132,29 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
       }
     }
   }
+  // Refuse cross-engine comparisons (interp vs sb vs trace): the engines
+  // retire identical simulated cycles, but every host-side series — wall
+  // clock, throughput, fast-path counters — measures a different
+  // implementation, so a diff across them is answering the wrong question.
+  {
+    std::map<std::string, const obs::BenchDoc*> base_engine;
+    for (const obs::BenchDoc& doc : baseline) base_engine[doc.bench] = &doc;
+    for (const obs::BenchDoc& doc : current) {
+      const auto it = base_engine.find(doc.bench);
+      if (it != base_engine.end() &&
+          (it->second->sb != doc.sb || it->second->trace != doc.trace)) {
+        Report rep;
+        rep.error = strformat(
+            "bench \"%s\": baseline recorded with engine=%s, current with "
+            "engine=%s — not comparable; re-record one side",
+            doc.bench.c_str(),
+            engine_name(it->second->sb, it->second->trace),
+            engine_name(doc.sb, doc.trace));
+        rep.ok = false;
+        return rep;
+      }
+    }
+  }
   std::map<Key, double> base_vals, cur_vals;
   std::vector<Key> base_order, cur_order;
   flatten(baseline, base_vals, base_order);
@@ -130,7 +166,9 @@ Report diff(const std::vector<obs::BenchDoc>& baseline,
   for (const obs::BenchDoc& doc : current) {
     bool seen = false;
     for (const Report::RunHeader& h : rep.headers) seen |= h.bench == doc.bench;
-    if (!seen) rep.headers.push_back({doc.bench, doc.jobs, doc.cores, doc.sb});
+    if (!seen)
+      rep.headers.push_back(
+          {doc.bench, doc.jobs, doc.cores, doc.sb, doc.trace});
   }
   for (const Key& k : base_order) {
     Delta d;
@@ -198,7 +236,7 @@ std::string Report::markdown() const {
   std::string out;
   for (const RunHeader& h : headers)
     out += strformat("- `%s`: jobs=%u, cores=%u, engine=%s\n", h.bench.c_str(),
-                     h.jobs, h.cores, h.sb ? "superblocks" : "interpreter");
+                     h.jobs, h.cores, engine_name(h.sb, h.trace));
   if (!headers.empty()) out += "\n";
   out +=
       "| series | unit | baseline | current | delta | status |\n"

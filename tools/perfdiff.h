@@ -34,6 +34,10 @@
 // The --cores header field (absent = 1) is refused on mismatch for a
 // stronger reason: guest core count changes the *simulated* results
 // themselves, so nothing in a cross-cores pair is comparable.
+// The engine headers — "sb" (absent = true) and "trace" (absent = false) —
+// are likewise refused on mismatch: the engines retire identical simulated
+// cycles, but every host-side series measures a different implementation,
+// so interp/sb/trace recordings are never diffed against each other.
 #pragma once
 
 #include <cstdint>
@@ -73,7 +77,8 @@ bool unit_is_informational(const std::string& unit);
 /// "hist."-prefixed histogram quantiles (distribution shape — p50/p95/
 /// p99 move with workload composition, so they inform, never gate), and
 /// "cov."/"div."-prefixed coverage and divergence counters (execution-shape
-/// diagnostics, DESIGN.md §3g).
+/// diagnostics, DESIGN.md §3g), and "trace."-prefixed trace-tier telemetry
+/// (formation/hit/exit counters, §3i — host-side engine behaviour).
 bool series_is_informational(const std::string& benchmark);
 
 struct Delta {
@@ -93,6 +98,7 @@ struct Report {
     unsigned jobs = 1;
     unsigned cores = 1;
     bool sb = true;
+    bool trace = false;
   };
   std::vector<RunHeader> headers;
   std::vector<Delta> deltas;  ///< baseline order, then new series
