@@ -1,0 +1,65 @@
+// Shared --snap plumbing for the attack-driven benches (DESIGN.md §3j).
+//
+// A bench that runs attacks:: scenarios opts into snapshot/fork machine
+// reuse with configure_snapshot_mode(session) before its sweep: under
+// --snap on every attack machine shares one prepared-kernel ImageCache and
+// one post-boot SnapshotCache — the first machine per boot signature boots
+// a template, every later identical machine forks it copy-on-write.
+// Guest-visible results (fingerprint, trace bytes, audit stream) are
+// bit-identical either way, so the bench's stdout and every gated series
+// stay byte-identical across --snap values; only host boot cost moves.
+//
+// emit_snapshot_series(session) appends the informational snap.* and
+// imgcache.* telemetry (camo-perfdiff never gates either family) and is a
+// no-op under --snap off, keeping snap-off artifacts byte-identical to
+// recordings that predate the flag.
+#pragma once
+
+#include <cstdio>
+
+#include "attacks/attacks.h"
+#include "bench_util.h"
+
+namespace camo::bench {
+
+/// Apply the session's --snap choice to the attack framework. Call before
+/// any fleet worker spawns (the knob is process-wide and unsynchronized,
+/// like attacks::collect_coverage()).
+inline void configure_snapshot_mode(Session& s) {
+  attacks::snapshot_mode() = s.snap();
+  if (s.snap()) attacks::reset_snapshot_stats();
+}
+
+/// Print and record the snapshot/fork telemetry of the sweep that just ran.
+/// No-op under --snap off.
+inline void emit_snapshot_series(Session& s) {
+  if (!s.snap()) return;
+  const attacks::SnapStats st = attacks::snapshot_stats();
+  std::printf("\nsnapshot reuse (--snap on, informational): %llu machines, "
+              "%llu forked, %llu template boot(s), %llu kernel image "
+              "build(s), %llu reuse(s)\n",
+              static_cast<unsigned long long>(st.machines),
+              static_cast<unsigned long long>(st.forks),
+              static_cast<unsigned long long>(st.template_boots),
+              static_cast<unsigned long long>(st.imgcache_misses),
+              static_cast<unsigned long long>(st.imgcache_hits));
+  std::printf("  CoW pages: %llu privatized, %llu still shared "
+              "(sums over machines)\n",
+              static_cast<unsigned long long>(st.cow_pages),
+              static_cast<unsigned long long>(st.shared_pages));
+  s.add("snap", "snap.machines", static_cast<double>(st.machines), "count");
+  s.add("snap", "snap.forks", static_cast<double>(st.forks), "count");
+  s.add("snap", "snap.template_boots",
+        static_cast<double>(st.template_boots), "count");
+  s.add("snap", "snap.cow_pages", static_cast<double>(st.cow_pages),
+        "pages");
+  s.add("snap", "snap.shared_pages", static_cast<double>(st.shared_pages),
+        "pages");
+  s.add("snap", "imgcache.hits", static_cast<double>(st.imgcache_hits),
+        "count");
+  s.add("snap", "imgcache.misses", static_cast<double>(st.imgcache_misses),
+        "count");
+  s.add_histogram("snap", "snap.cow_pages", st.cow_hist, "pages");
+}
+
+}  // namespace camo::bench

@@ -1,0 +1,220 @@
+// Snapshot-fork scenario fuzzing (DESIGN.md §3j).
+//
+// Boot-once/run-many as a correctness weapon: N children are drawn with a
+// seeded RNG from the attacks:: scenario registry and run through the
+// snapshot path — under --snap on the first child per boot signature boots
+// a template machine, every later child with the same signature forks it
+// copy-on-write. Three mutation families:
+//   * injection/reuse mutants — named registry attacks (pointer injection,
+//     f_ops redirect, cross-object signature *reuse*) under a mutated
+//     protection preset,
+//   * replay mutants — the backward-edge replay matrix executed on-CPU
+//     with real signed pointers, checked against the host modifier-algebra
+//     model as its oracle,
+//   * the verdict oracle itself — every distinct (attack, config) cell is
+//     first calibrated on a fresh-boot machine (snapshot mode off), and a
+//     handful of §6.2 ground truths are asserted on the calibration
+//     directly (unprotected kernels are hijacked, PAuth detects injection,
+//     key extraction and rodata tampering are blocked).
+// Every mutant must land in its expected verdict class; any mismatch —
+// i.e. any behavioural difference between a forked child and a fresh-boot
+// machine — fails the bench. The mutant stream is a pure function of the
+// seed, so the emitted class counts are deterministic and gateable at any
+// --jobs / --snap combination.
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attacks/attacks.h"
+#include "bench_snap_util.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace camo;  // NOLINT
+using attacks::Outcome;
+
+struct Mutant {
+  bool replay = false;
+  // Named-attack mutants:
+  std::string attack, config;
+  // Replay mutants:
+  compiler::BackwardScheme scheme = compiler::BackwardScheme::ClangSp;
+  attacks::ReplayScenario scenario =
+      attacks::ReplayScenario::SameFunctionSameSp;
+};
+
+struct Verdict {
+  bool ok = false;      ///< landed in the expected class
+  int expected = 0;     ///< Outcome, or replay oracle (1 = accepted)
+  int actual = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Session s(
+      argc, argv, "SnapFuzz", "snapshot-fork scenario fuzzing (DESIGN.md §3j)",
+      "forked machines are bit-identical to fresh boots, so every seeded "
+      "scenario mutant must land in the verdict class a fresh-boot oracle "
+      "predicts");
+
+  // Default matches refresh_baselines.sh's pinned --seed, so the recorded
+  // baseline and a bare smoke run draw the same mutant stream.
+  const uint64_t seed = s.seed(2024);
+  const size_t n_mutants = s.iters(48, 12);
+
+  // The fuzz pool: the injection/reuse rows of the §6.2 matrix (including
+  // the cross-object signature-reuse attack) plus the two blocked-outright
+  // rows, under every protection preset. Small enough that repeated draws
+  // exercise snapshot forking, broad enough to hit all three verdict
+  // classes.
+  const std::vector<std::string> pool = {
+      "rop-injection",    "forward-edge", "fops-redirect",
+      "fops-cross-object", "key-extraction", "rodata-tamper"};
+  const std::vector<std::string>& configs = attacks::attack_config_names();
+  const compiler::BackwardScheme schemes[] = {
+      compiler::BackwardScheme::ClangSp, compiler::BackwardScheme::Parts,
+      compiler::BackwardScheme::Camouflage};
+  const attacks::ReplayScenario scenarios[] = {
+      attacks::ReplayScenario::SameFunctionSameSp,
+      attacks::ReplayScenario::DiffFunctionSameSp,
+      attacks::ReplayScenario::CrossThread64kStacks,
+      attacks::ReplayScenario::DiffFunctionDiffSp,
+  };
+
+  // Draw the whole mutant stream up front (serially — the RNG is not
+  // shared with workers), so the stream is a pure function of the seed.
+  std::mt19937_64 rng(seed);
+  std::vector<Mutant> mutants(n_mutants);
+  for (Mutant& m : mutants) {
+    if (rng() % 4 == 3) {
+      m.replay = true;
+      m.scheme = schemes[rng() % std::size(schemes)];
+      m.scenario = scenarios[rng() % std::size(scenarios)];
+    } else {
+      m.attack = pool[rng() % pool.size()];
+      m.config = configs[rng() % configs.size()];
+    }
+  }
+
+  // ---- oracle: calibrate every drawn cell on a fresh-boot machine -------
+  attacks::snapshot_mode() = false;
+  std::vector<std::pair<std::string, std::string>> cells;
+  for (const Mutant& m : mutants)
+    if (!m.replay) cells.emplace_back(m.attack, m.config);
+  // Ground-truth cells asserted below ride along even when the draw missed
+  // them, so the oracle is never purely self-consistent.
+  cells.emplace_back("rop-injection", "none");
+  cells.emplace_back("rop-injection", "full");
+  cells.emplace_back("key-extraction", "full");
+  cells.emplace_back("rodata-tamper", "none");
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  const auto oracle_reports = s.fleet(cells.size(), [&](size_t i) {
+    return *attacks::run_named_attack(cells[i].first, cells[i].second);
+  });
+  std::map<std::pair<std::string, std::string>, Outcome> oracle;
+  for (size_t i = 0; i < cells.size(); ++i)
+    oracle[cells[i]] = oracle_reports[i].outcome;
+
+  const auto expect = [&](const char* attack, const char* config,
+                          Outcome want) {
+    const Outcome got = oracle.at({attack, config});
+    if (got == want) return true;
+    std::fprintf(stderr, "oracle violates §6.2: %s/%s is %s, expected %s\n",
+                 attack, config, attacks::outcome_name(got),
+                 attacks::outcome_name(want));
+    return false;
+  };
+  bool oracle_ok = true;
+  oracle_ok &= expect("rop-injection", "none", Outcome::Hijacked);
+  oracle_ok &= expect("rop-injection", "full", Outcome::Detected);
+  oracle_ok &= expect("key-extraction", "full", Outcome::Blocked);
+  oracle_ok &= expect("rodata-tamper", "none", Outcome::Blocked);
+  if (!oracle_ok) return 1;
+  std::printf("fresh-boot oracle: %zu distinct (attack, config) cells, §6.2 "
+              "ground truths hold\n",
+              cells.size());
+
+  // ---- mutants: the same scenarios through the snapshot path ------------
+  bench::configure_snapshot_mode(s);
+  const auto verdicts = s.fleet(n_mutants, [&](size_t i) {
+    const Mutant& m = mutants[i];
+    Verdict v;
+    if (m.replay) {
+      v.expected = attacks::replay_accepted(m.scheme, m.scenario) ? 1 : 0;
+      v.actual = attacks::replay_accepted_on_cpu(m.scheme, m.scenario) ? 1 : 0;
+    } else {
+      v.expected = static_cast<int>(oracle.at({m.attack, m.config}));
+      v.actual = static_cast<int>(
+          attacks::run_named_attack(m.attack, m.config)->outcome);
+    }
+    v.ok = v.actual == v.expected;
+    return v;
+  });
+
+  uint64_t class_count[3] = {};  // Hijacked / Detected / Blocked
+  uint64_t replay_bypass = 0, replay_caught = 0, mismatches = 0;
+  for (size_t i = 0; i < n_mutants; ++i) {
+    const Mutant& m = mutants[i];
+    const Verdict& v = verdicts[i];
+    if (!v.ok) {
+      ++mismatches;
+      if (m.replay)
+        std::printf("  MISMATCH replay %s/%s: cpu=%d model=%d\n",
+                    attacks::replay_scenario_name(m.scenario),
+                    m.scheme == compiler::BackwardScheme::Camouflage
+                        ? "camouflage"
+                        : "other",
+                    v.actual, v.expected);
+      else
+        std::printf("  MISMATCH %s/%s: got %s, oracle says %s\n",
+                    m.attack.c_str(), m.config.c_str(),
+                    attacks::outcome_name(static_cast<Outcome>(v.actual)),
+                    attacks::outcome_name(static_cast<Outcome>(v.expected)));
+      continue;
+    }
+    if (m.replay) {
+      (v.actual ? replay_bypass : replay_caught)++;
+    } else {
+      ++class_count[v.actual];
+    }
+  }
+
+  std::printf("\n%zu seeded mutants (seed %llu): %llu hijacked, %llu "
+              "detected, %llu blocked, %llu replay-bypass, %llu "
+              "replay-caught, %llu verdict mismatches\n",
+              n_mutants, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(class_count[0]),
+              static_cast<unsigned long long>(class_count[1]),
+              static_cast<unsigned long long>(class_count[2]),
+              static_cast<unsigned long long>(replay_bypass),
+              static_cast<unsigned long long>(replay_caught),
+              static_cast<unsigned long long>(mismatches));
+
+  // The class counts are a pure function of the seed — deterministic and
+  // gated — and must be identical at any --jobs and any --snap value
+  // (forked children are bit-identical to fresh boots by contract).
+  const char* cfg = "fuzz";
+  s.add(cfg, "mutants", static_cast<double>(n_mutants), "count");
+  s.add(cfg, "hijacked", static_cast<double>(class_count[0]), "count");
+  s.add(cfg, "detected", static_cast<double>(class_count[1]), "count");
+  s.add(cfg, "blocked", static_cast<double>(class_count[2]), "count");
+  s.add(cfg, "replay bypasses", static_cast<double>(replay_bypass), "count");
+  s.add(cfg, "replay caught", static_cast<double>(replay_caught), "count");
+  s.add(cfg, "verdict mismatches", static_cast<double>(mismatches), "count");
+  bench::emit_snapshot_series(s);
+  if (mismatches != 0) {
+    std::fprintf(stderr, "bench_snapfuzz: %llu mutant(s) left their verdict "
+                 "class\n", static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  const int rc = s.finish();
+  return rc;
+}

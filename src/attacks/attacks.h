@@ -23,6 +23,7 @@
 #include "compiler/instrument.h"
 #include "kernel/machine.h"
 #include "obs/coverage.h"
+#include "obs/metrics.h"
 
 namespace camo::attacks {
 
@@ -50,6 +51,33 @@ struct AttackReport {
 /// coverage consumers (bench_security_matrix --cov, camo-cov) enable it.
 /// Set it before spawning fleet workers; reads are unsynchronized.
 bool& collect_coverage();
+
+/// Process-wide knob: when set, every attack Machine shares one prepared-
+/// kernel ImageCache and one post-boot SnapshotCache (DESIGN.md §3j) — the
+/// first machine per boot signature boots a template, every later identical
+/// machine forks it copy-on-write. Guest-visible results (fingerprint,
+/// trace bytes, audit stream) are bit-identical either way; only host boot
+/// cost changes. Set before spawning fleet workers; reads unsynchronized.
+bool& snapshot_mode();
+
+/// Aggregate snapshot/fork statistics over every attack machine classified
+/// since the last reset (meaningful only under snapshot_mode). All fields
+/// are order-independent sums/counts, so fleet --jobs never changes them.
+struct SnapStats {
+  uint64_t machines = 0;        ///< CoW attack machines observed
+  uint64_t forks = 0;           ///< machines populated by fork()
+  uint64_t template_boots = 0;  ///< snapshot-cache misses (full boots)
+  uint64_t cow_pages = 0;       ///< privatized pages, summed over machines
+  uint64_t shared_pages = 0;    ///< store/zero-backed pages, summed
+  uint64_t imgcache_hits = 0;    ///< shared prepared-kernel reuses
+  uint64_t imgcache_misses = 0;  ///< shared prepared-kernel builds
+  obs::Histogram cow_hist;      ///< per-machine privatized-page counts
+};
+/// Thread-safe read of the aggregate (plus the shared cache's boot count).
+SnapStats snapshot_stats();
+/// Zero the aggregate and drop the shared caches (a fresh template boots on
+/// the next attack machine). Benches call this once before their sweep.
+void reset_snapshot_stats();
 
 /// The threat-model memory primitive (kernel-level read/write that cannot
 /// bypass stage-2 protections or read XOM).

@@ -1,0 +1,30 @@
+#include "kernel/snapshot.h"
+
+namespace camo::kernel {
+
+std::shared_ptr<const MachineSnapshot> SnapshotCache::get(
+    const std::string& key,
+    const std::function<MachineSnapshot()>& build) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  auto snap = std::make_shared<const MachineSnapshot>(build());
+  entries_.emplace(key, snap);
+  return snap;
+}
+
+SnapshotCache::Stats SnapshotCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SnapshotCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace camo::kernel

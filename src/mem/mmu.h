@@ -91,6 +91,15 @@ class Stage1Map {
   /// Process-unique object identity (see next_map_uid).
   uint64_t uid() const { return uid_; }
 
+  /// Adopt another map's entries and generation but keep this object's own
+  /// uid — Machine::fork duplicates the template's maps into fresh objects,
+  /// so consumers keyed by (uid, generation) can never confuse a fork's map
+  /// with the template's (no ABA across machines).
+  void copy_from(const Stage1Map& other) {
+    pages_ = other.pages_;
+    generation_ = other.generation_;
+  }
+
  private:
   static uint64_t key(uint64_t va) { return va >> VaLayout::kPageShift; }
   std::unordered_map<uint64_t, PageEntry> pages_;
@@ -120,6 +129,12 @@ class Stage2Map {
   uint64_t generation() const { return generation_; }
   /// Process-unique object identity (see next_map_uid).
   uint64_t uid() const { return uid_; }
+
+  /// Entries + generation from `other`, own uid kept; see Stage1Map.
+  void copy_from(const Stage2Map& other) {
+    pages_ = other.pages_;
+    generation_ = other.generation_;
+  }
 
  private:
   std::unordered_map<uint64_t, Perms> pages_;
@@ -153,6 +168,7 @@ class Mmu {
     flush_tlb();
   }
   const VaLayout& layout() const { return layout_; }
+  const Stage1Map* user_map() const { return user_map_; }
   PhysicalMemory& phys() { return *phys_; }
   const PhysicalMemory& phys() const { return *phys_; }
 

@@ -5,7 +5,11 @@
 //
 //  * each task i owns its machine exclusively; machines share nothing
 //    mutable (a kernel::ImageCache, if configured, hands out immutable
-//    prepared images under its own lock),
+//    prepared images under its own lock; likewise a kernel::SnapshotCache
+//    — DESIGN.md §3j — hands out immutable post-boot snapshots, so boot()
+//    inside a task either boots the one template per configuration, with
+//    concurrent first-boots serializing under the cache lock, or forks it
+//    copy-on-write; forked and fresh machines are bit-identical),
 //  * task i writes only slot i — results, registry snapshot, trace ring
 //    snapshot, host counters are captured into the slot the moment the
 //    task finishes and the machine is destroyed (a 64 MiB guest does not
